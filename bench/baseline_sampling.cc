@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Baseline comparison (extension): SimPoint vs behaviour-oblivious
+ * sampling at the same region budget.
+ *
+ * SimFlex/SMARTS-style systematic sampling and uniform random
+ * sampling pick the same *number* of regions as the BIC-chosen
+ * SimPoint selection, so any accuracy difference is attributable to
+ * behaviour-aware placement and weighting.  Related work the paper
+ * discusses in Section V-B.
+ */
+
+#include "bench_util.hh"
+#include "simpoint/baselines.hh"
+#include "support/stats_util.hh"
+
+using namespace splab;
+
+int
+main(int, char **argv)
+{
+    bench::banner("SimPoint vs systematic vs random sampling",
+                  "Section V-B baselines (extension)");
+
+    SuiteRunner runner;
+    TableWriter t("Sampling accuracy at equal region budget "
+                  "(suite averages)");
+    t.header({"Strategy", "Mix err (pts)", "L1D err", "L3 err",
+              "CPI err vs native"});
+    CsvWriter csv;
+    csv.header({"strategy", "benchmark", "mix_err", "l1d_err",
+                "l3_err", "cpi_err"});
+
+    struct Acc
+    {
+        double mix = 0, l1d = 0, l3 = 0, cpi = 0;
+    };
+    Acc acc[3];
+    const char *labels[3] = {"SimPoint (weighted)", "systematic",
+                             "random"};
+
+    double n = 0;
+    for (const auto &e : suiteTable()) {
+        const BenchmarkSpec &spec = runner.spec(e.name);
+        auto whole = wholeAsAggregate(runner.wholeCache(e.name));
+        double nativeCpi = runner.native(e.name).cpi();
+        const SimPointResult &sp = runner.simpoints(e.name);
+        u32 budget = static_cast<u32>(sp.points.size());
+
+        SimPointResult strategies[3] = {
+            sp,
+            systematicSample(sp.totalSlices, sp.sliceInstrs, budget),
+            randomSample(sp.totalSlices, sp.sliceInstrs, budget,
+                         spec.seed),
+        };
+
+        for (int s = 0; s < 3; ++s) {
+            auto cachePts = measurePointsCache(
+                spec, strategies[s], runner.config().allcache, 0);
+            auto agg = aggregateCache(cachePts);
+            double mixErr = 0;
+            for (int c = 0; c < 4; ++c)
+                mixErr = std::max(mixErr,
+                                  std::fabs(agg.mixFrac[c] -
+                                            whole.mixFrac[c]));
+            double l1dErr =
+                relativeError(agg.l1dMissRate, whole.l1dMissRate);
+            double l3Err =
+                relativeError(agg.l3MissRate, whole.l3MissRate);
+
+            auto timingPts = measurePointsTiming(
+                spec, strategies[s], runner.config().machine,
+                runner.config().warmupChunks);
+            double cpiErr = relativeError(
+                aggregateTiming(timingPts).cpi, nativeCpi);
+
+            acc[s].mix += mixErr;
+            acc[s].l1d += l1dErr;
+            acc[s].l3 += l3Err;
+            acc[s].cpi += cpiErr;
+            csv.row({labels[s], e.name, fmt(mixErr, 6),
+                     fmt(l1dErr, 6), fmt(l3Err, 6),
+                     fmt(cpiErr, 6)});
+        }
+        n += 1;
+    }
+
+    for (int s = 0; s < 3; ++s)
+        t.row({labels[s], fmtPct(acc[s].mix / n),
+               fmtPct(acc[s].l1d / n), fmtPct(acc[s].l3 / n),
+               fmtPct(acc[s].cpi / n)});
+    t.print();
+
+    std::printf("\nExpected shape: all three agree on the broad "
+                "instruction mix, but SimPoint's\nbehaviour-aware "
+                "placement + weighting wins on CPI; oblivious "
+                "sampling needs\nmany more regions to match it "
+                "(SMARTS uses thousands).\n");
+    bench::saveCsv(csv, argv[0]);
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Every bench prints the paper-style table to stdout and mirrors the
+ * raw series to "<binary>.csv" so results can be re-plotted.  Heavy
+ * intermediates are shared across bench binaries through the on-disk
+ * artifact cache (see core/artifact_cache.hh).
+ */
+
+#ifndef SPLAB_BENCH_BENCH_UTIL_HH
+#define SPLAB_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiments.hh"
+#include "support/env.hh"
+#include "support/table.hh"
+
+namespace splab
+{
+namespace bench
+{
+
+/** CSV path next to the running binary: "<argv0>.csv". */
+inline std::string
+csvPath(const char *argv0)
+{
+    return std::string(argv0) + ".csv";
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &what, const std::string &paperRef)
+{
+    std::printf("\n################################################"
+                "######################\n");
+    std::printf("## %s\n", what.c_str());
+    std::printf("## Reproduces: %s\n", paperRef.c_str());
+    std::printf("## Scale: 1 model slice = 10,000 instrs "
+                "(paper: 30M); SPLAB_SCALE=%.3g\n",
+                workloadScale());
+    std::printf("##################################################"
+                "####################\n\n");
+    std::fflush(stdout);
+}
+
+/** Save a CSV and tell the user where it went. */
+inline void
+saveCsv(const CsvWriter &csv, const char *argv0)
+{
+    std::string path = csvPath(argv0);
+    if (csv.save(path))
+        std::printf("\n[csv] raw series written to %s\n",
+                    path.c_str());
+    else
+        std::printf("\n[csv] FAILED to write %s\n", path.c_str());
+}
+
+} // namespace bench
+} // namespace splab
+
+#endif // SPLAB_BENCH_BENCH_UTIL_HH

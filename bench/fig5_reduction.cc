@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure 5: dynamic instruction count and execution time of Whole,
+ * Regional and Reduced Regional runs.
+ *
+ * Paper findings: Regional runs execute ~650x fewer instructions and
+ * finish ~750x faster than Whole runs (6,873.9B -> 10.4B instrs,
+ * 213.2h -> 17.17min on average); Reduced Regional runs improve this
+ * to ~1225x / ~1297x.  Time at paper scale comes from the replay
+ * cost model (core/costmodel.hh); model-scale wall-clock times are
+ * reported alongside.
+ */
+
+#include "bench_util.hh"
+
+using namespace splab;
+
+int
+main(int, char **argv)
+{
+    bench::banner("Whole vs Regional vs Reduced Regional runs",
+                  "Figure 5(a) instruction count, 5(b) time");
+
+    SuiteRunner runner;
+    ReplayCostModel cost;
+
+    TableWriter t("Fig 5 - run sizes and paper-equivalent times");
+    t.header({"Benchmark", "Whole (instr)", "Regional", "Reduced",
+              "I-ratio R", "I-ratio RR", "Whole time", "Regional",
+              "Reduced", "T-ratio R", "T-ratio RR"});
+    CsvWriter csv;
+    csv.header({"benchmark", "whole_instrs", "regional_instrs",
+                "reduced_instrs", "whole_hours", "regional_min",
+                "reduced_min", "wall_whole_s", "wall_regional_s"});
+
+    double sumIW = 0, sumIR = 0, sumIRR = 0;
+    double sumTW = 0, sumTR = 0, sumTRR = 0;
+    for (const auto &e : suiteTable()) {
+        ICount whole = runner.spec(e.name).totalInstrs();
+        // Run-length equivalence: the suite table's paper-scale
+        // dynamic instruction count maps this benchmark's model run
+        // onto the paper's testbed (absorbing the replay overhead
+        // the paper's pinballs carry).
+        double paperScale = e.paperInstrsB * 1e9 /
+                            static_cast<double>(whole);
+        const auto &pts = runner.pointsCacheCold(e.name);
+        auto reduced = SuiteRunner::reduceToQuantile(pts, 0.9);
+        ICount regional = 0, rr = 0;
+        double wallR = 0;
+        for (const auto &p : pts) {
+            regional += p.m.instrs;
+            wallR += p.m.wallSeconds;
+        }
+        for (const auto &p : reduced)
+            rr += p.m.instrs;
+
+        double tW = cost.wholeSeconds(
+            static_cast<double>(whole) * paperScale);
+        double tR = cost.regionalSeconds(
+            static_cast<double>(regional) * paperScale,
+            pts.size());
+        double tRR = cost.regionalSeconds(
+            static_cast<double>(rr) * paperScale, reduced.size());
+
+        t.row({e.name, fmtSi(static_cast<double>(whole), 1),
+               fmtSi(static_cast<double>(regional), 1),
+               fmtSi(static_cast<double>(rr), 1),
+               fmtX(static_cast<double>(whole) /
+                    static_cast<double>(regional)),
+               fmtX(static_cast<double>(whole) /
+                    static_cast<double>(rr)),
+               fmt(tW / 3600.0, 1) + " h", fmt(tR / 60.0, 1) + " m",
+               fmt(tRR / 60.0, 1) + " m", fmtX(tW / tR),
+               fmtX(tW / tRR)});
+        csv.row({e.name, std::to_string(whole),
+                 std::to_string(regional), std::to_string(rr),
+                 fmt(tW / 3600.0, 3), fmt(tR / 60.0, 3),
+                 fmt(tRR / 60.0, 3),
+                 fmt(runner.wholeCache(e.name).wallSeconds, 3),
+                 fmt(wallR, 3)});
+        sumIW += static_cast<double>(whole);
+        sumIR += static_cast<double>(regional);
+        sumIRR += static_cast<double>(rr);
+        sumTW += tW;
+        sumTR += tR;
+        sumTRR += tRR;
+    }
+    double n = static_cast<double>(suiteTable().size());
+    t.separator();
+    t.row({"Average", fmtSi(sumIW / n, 1), fmtSi(sumIR / n, 1),
+           fmtSi(sumIRR / n, 1), fmtX(sumIW / sumIR),
+           fmtX(sumIW / sumIRR), fmt(sumTW / n / 3600.0, 1) + " h",
+           fmt(sumTR / n / 60.0, 1) + " m",
+           fmt(sumTRR / n / 60.0, 1) + " m", fmtX(sumTW / sumTR),
+           fmtX(sumTW / sumTRR)});
+    t.print();
+
+    std::printf("\nPaper: ~650x fewer instructions / ~750x less time "
+                "(Regional); ~1225x / ~1297x (Reduced).\n"
+                "Measured: %.0fx / %.0fx (Regional); %.0fx / %.0fx "
+                "(Reduced).\n",
+                sumIW / sumIR, sumTW / sumTR, sumIW / sumIRR,
+                sumTW / sumTRR);
+    bench::saveCsv(csv, argv[0]);
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 9: suite-average metric errors (vs Whole Run) and execution
+ * time as the simulation-point percentile shrinks from 100 to 50.
+ *
+ * Paper findings: errors rise as points are dropped; execution time
+ * falls; 100 and 90 percentile correspond to the Regional and
+ * Reduced Regional runs.
+ */
+
+#include "bench_util.hh"
+#include "support/stats_util.hh"
+
+using namespace splab;
+
+int
+main(int, char **argv)
+{
+    bench::banner("Accuracy/runtime trade-off vs simulation-point "
+                  "percentile", "Figure 9");
+
+    SuiteRunner runner;
+    ReplayCostModel cost;
+    const double percentiles[] = {1.0, 0.9, 0.8, 0.7, 0.6, 0.5};
+
+    TableWriter t("Fig 9 - average error vs Whole Run, and "
+                  "paper-equivalent execution time");
+    t.header({"Percentile", "Mix err (pts)", "L1D err", "L2 err",
+              "L3 err", "Exec time (min)", "Points/bench"});
+    CsvWriter csv;
+    csv.header({"percentile", "mix_err", "l1d_err", "l2_err",
+                "l3_err", "exec_minutes", "avg_points"});
+
+    for (double q : percentiles) {
+        double mixErr = 0, err[3] = {}, execS = 0, pts = 0;
+        double n = 0;
+        for (const auto &e : suiteTable()) {
+            auto whole = wholeAsAggregate(runner.wholeCache(e.name));
+            auto sub = SuiteRunner::reduceToQuantile(
+                runner.pointsCacheCold(e.name), q);
+            auto agg = aggregateCache(sub);
+
+            double m = 0;
+            for (int i = 0; i < 4; ++i)
+                m = std::max(m, std::fabs(agg.mixFrac[i] -
+                                          whole.mixFrac[i]));
+            mixErr += m;
+            err[0] += relativeError(agg.l1dMissRate,
+                                    whole.l1dMissRate);
+            err[1] += relativeError(agg.l2MissRate,
+                                    whole.l2MissRate);
+            err[2] += relativeError(agg.l3MissRate,
+                                    whole.l3MissRate);
+            double paperScale =
+                e.paperInstrsB * 1e9 /
+                static_cast<double>(
+                    runner.spec(e.name).totalInstrs());
+            execS += cost.regionalSeconds(
+                static_cast<double>(agg.executedInstrs) *
+                    paperScale,
+                sub.size());
+            pts += static_cast<double>(sub.size());
+            n += 1.0;
+        }
+        t.row({fmt(q * 100, 0), fmtPct(mixErr / n),
+               fmtPct(err[0] / n), fmtPct(err[1] / n),
+               fmtPct(err[2] / n), fmt(execS / n / 60.0, 2),
+               fmt(pts / n, 1)});
+        csv.row({fmt(q, 2), fmt(mixErr / n, 6), fmt(err[0] / n, 6),
+                 fmt(err[1] / n, 6), fmt(err[2] / n, 6),
+                 fmt(execS / n / 60.0, 4), fmt(pts / n, 2)});
+    }
+    t.print();
+
+    std::printf("\nExpected shape: errors grow and execution time "
+                "falls as the percentile\nshrinks; 100 = Regional, "
+                "90 = Reduced Regional.\n");
+    bench::saveCsv(csv, argv[0]);
+    return 0;
+}

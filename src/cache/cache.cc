@@ -1,0 +1,119 @@
+#include "cache.hh"
+
+#include "support/logging.hh"
+
+namespace splab
+{
+
+CacheStats &
+CacheStats::operator+=(const CacheStats &o)
+{
+    accesses += o.accesses;
+    misses += o.misses;
+    readAccesses += o.readAccesses;
+    readMisses += o.readMisses;
+    writeAccesses += o.writeAccesses;
+    writeMisses += o.writeMisses;
+    return *this;
+}
+
+namespace
+{
+
+bool
+isPow2(u64 v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+u32
+log2u(u64 v)
+{
+    u32 n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+SetAssocCache::SetAssocCache(const CacheParams &params)
+    : cacheParams(params), ways(params.ways)
+{
+    SPLAB_ASSERT(params.ways >= 1, params.name, ": ways must be >= 1");
+    SPLAB_ASSERT(isPow2(params.lineBytes),
+                 params.name, ": line size must be a power of two");
+    u64 sets = params.numSets();
+    SPLAB_ASSERT(sets >= 1 && isPow2(sets),
+                 params.name, ": set count ", sets,
+                 " must be a nonzero power of two");
+    setMask = sets - 1;
+    lineShift = log2u(params.lineBytes);
+    tags.assign(sets * ways, 0);
+    valid.assign(sets * ways, 0);
+}
+
+bool
+SetAssocCache::access(Addr addr, bool isWrite)
+{
+    u64 line = addr >> lineShift;
+    u64 set = line & setMask;
+    u64 tag = line >> log2u(setMask + 1);
+
+    u64 *t = &tags[set * ways];
+    u8 *v = &valid[set * ways];
+
+    bool hit = false;
+    u32 pos = 0;
+    for (u32 i = 0; i < ways; ++i) {
+        if (v[i] && t[i] == tag) {
+            hit = true;
+            pos = i;
+            break;
+        }
+    }
+
+    if (hit) {
+        // Move to front (true LRU order).
+        for (u32 i = pos; i > 0; --i) {
+            t[i] = t[i - 1];
+            v[i] = v[i - 1];
+        }
+        t[0] = tag;
+        v[0] = 1;
+    } else {
+        // Evict the LRU way (last slot) by shifting everything down.
+        for (u32 i = ways - 1; i > 0; --i) {
+            t[i] = t[i - 1];
+            v[i] = v[i - 1];
+        }
+        t[0] = tag;
+        v[0] = 1;
+    }
+
+    if (!warming) {
+        ++stats.accesses;
+        if (isWrite) {
+            ++stats.writeAccesses;
+            if (!hit)
+                ++stats.writeMisses;
+        } else {
+            ++stats.readAccesses;
+            if (!hit)
+                ++stats.readMisses;
+        }
+        if (!hit)
+            ++stats.misses;
+    }
+    return hit;
+}
+
+void
+SetAssocCache::flush()
+{
+    valid.assign(valid.size(), 0);
+}
+
+} // namespace splab

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Functional set-associative cache model.
+ *
+ * This is the substrate behind the paper's `allcache` pintool
+ * (functional I+D cache hierarchy simulator): it tracks hits and
+ * misses, not timing.  The timing simulator reuses the same model
+ * and adds latency on top.
+ */
+
+#ifndef SPLAB_CACHE_CACHE_HH
+#define SPLAB_CACHE_CACHE_HH
+
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace splab
+{
+
+/** Geometry of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    u64 sizeBytes = 32 * 1024;
+    u32 ways = 8;        ///< 1 = direct-mapped
+    u32 lineBytes = 64;
+
+    u64 numSets() const { return sizeBytes / (static_cast<u64>(ways) * lineBytes); }
+};
+
+/** Hit/miss counters of one cache level. */
+struct CacheStats
+{
+    u64 accesses = 0;
+    u64 misses = 0;
+    u64 readAccesses = 0;
+    u64 readMisses = 0;
+    u64 writeAccesses = 0;
+    u64 writeMisses = 0;
+
+    double
+    missRate() const
+    {
+        return accesses == 0
+                   ? 0.0
+                   : static_cast<double>(misses) /
+                         static_cast<double>(accesses);
+    }
+
+    CacheStats &operator+=(const CacheStats &o);
+};
+
+/**
+ * One cache level with true-LRU replacement (move-to-front order
+ * within each set).  Write misses allocate.
+ */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheParams &params);
+
+    /**
+     * Look up (and on miss, allocate) the line containing @p addr.
+     * @return true on hit.
+     */
+    bool access(Addr addr, bool isWrite);
+
+    /** When warming, state updates but counters do not. */
+    void setWarmup(bool on) { warming = on; }
+    bool warmup() const { return warming; }
+
+    /** Invalidate all lines (cold restart); stats are kept. */
+    void flush();
+
+    /** Zero the counters; contents are kept. */
+    void resetStats() { stats = CacheStats(); }
+
+    const CacheStats &statsRef() const { return stats; }
+    const CacheParams &params() const { return cacheParams; }
+
+  private:
+    CacheParams cacheParams;
+    u64 setMask;
+    u32 lineShift;
+    u32 ways;
+
+    /** tags[set * ways + i], most recently used first. */
+    std::vector<u64> tags;
+    std::vector<u8> valid;
+
+    CacheStats stats;
+    bool warming = false;
+};
+
+} // namespace splab
+
+#endif // SPLAB_CACHE_CACHE_HH

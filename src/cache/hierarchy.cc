@@ -1,0 +1,121 @@
+#include "hierarchy.hh"
+
+#include "support/logging.hh"
+
+namespace splab
+{
+
+const std::string &
+cacheLevelName(CacheLevel l)
+{
+    static const std::array<std::string, kNumCacheLevels> names = {
+        "L1I", "L1D", "L2", "L3"};
+    return names[static_cast<u8>(l)];
+}
+
+HierarchyConfig
+tableIConfig()
+{
+    // Table I: ALLCACHE SIMULATOR CONFIGURATION.
+    HierarchyConfig c;
+    c.l1i = {"L1I", 32 * 1024, 32, 32};
+    c.l1d = {"L1D", 32 * 1024, 32, 32};
+    c.l2 = {"L2", 2 * 1024 * 1024, 1, 32};   // direct-mapped
+    c.l3 = {"L3", 16 * 1024 * 1024, 1, 32};  // direct-mapped
+    return c;
+}
+
+HierarchyConfig
+tableIIIConfig()
+{
+    // Table III: cache geometry of the modelled i7-3770.
+    HierarchyConfig c;
+    c.l1i = {"L1I", 32 * 1024, 8, 64};
+    c.l1d = {"L1D", 32 * 1024, 8, 64};
+    c.l2 = {"L2", 256 * 1024, 8, 64};
+    c.l3 = {"L3", 8 * 1024 * 1024, 16, 64};
+    return c;
+}
+
+HierarchyConfig
+scaleFarCaches(HierarchyConfig cfg, u64 divisor)
+{
+    SPLAB_ASSERT(divisor >= 1, "cache scale divisor must be >= 1");
+    for (CacheParams *p : {&cfg.l2, &cfg.l3}) {
+        u64 minSize = static_cast<u64>(p->ways) * p->lineBytes;
+        u64 scaled = p->sizeBytes / divisor;
+        // Keep the set count a power of two.
+        u64 size = minSize;
+        while (size * 2 <= scaled)
+            size *= 2;
+        p->sizeBytes = size;
+    }
+    return cfg;
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
+{
+    level[0] = std::make_unique<SetAssocCache>(config.l1i);
+    level[1] = std::make_unique<SetAssocCache>(config.l1d);
+    level[2] = std::make_unique<SetAssocCache>(config.l2);
+    level[3] = std::make_unique<SetAssocCache>(config.l3);
+}
+
+HitLevel
+CacheHierarchy::accessData(Addr addr, bool isWrite)
+{
+    if (level[1]->access(addr, isWrite))
+        return HitLevel::L1;
+    if (level[2]->access(addr, isWrite))
+        return HitLevel::L2;
+    if (level[3]->access(addr, isWrite))
+        return HitLevel::L3;
+    return HitLevel::Memory;
+}
+
+HitLevel
+CacheHierarchy::accessInstr(Addr pc)
+{
+    if (level[0]->access(pc, false))
+        return HitLevel::L1;
+    if (level[2]->access(pc, false))
+        return HitLevel::L2;
+    if (level[3]->access(pc, false))
+        return HitLevel::L3;
+    return HitLevel::Memory;
+}
+
+void
+CacheHierarchy::setWarmup(bool on)
+{
+    for (auto &c : level)
+        c->setWarmup(on);
+}
+
+void
+CacheHierarchy::flush()
+{
+    for (auto &c : level)
+        c->flush();
+}
+
+void
+CacheHierarchy::resetStats()
+{
+    for (auto &c : level)
+        c->resetStats();
+}
+
+const CacheStats &
+CacheHierarchy::levelStats(CacheLevel l) const
+{
+    return level[static_cast<u8>(l)]->statsRef();
+}
+
+const CacheParams &
+CacheHierarchy::levelParams(CacheLevel l) const
+{
+    return level[static_cast<u8>(l)]->params();
+}
+
+} // namespace splab

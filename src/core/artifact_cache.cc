@@ -1,0 +1,64 @@
+#include "artifact_cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "support/env.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace splab
+{
+
+ArtifactCache::ArtifactCache(std::string dir) : root(std::move(dir))
+{
+    if (root.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(root, ec);
+    if (ec) {
+        SPLAB_WARN("cannot create cache dir ", root, ": ",
+                   ec.message(), "; caching disabled");
+        root.clear();
+    }
+}
+
+ArtifactCache
+ArtifactCache::fromEnv()
+{
+    return ArtifactCache(artifactCacheDir());
+}
+
+std::string
+ArtifactCache::path(const std::string &kind, u64 key) const
+{
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(
+                      hashCombine(key, kVersionSalt)));
+    return root + "/" + kind + "-" + hex + ".bin";
+}
+
+std::optional<ByteReader>
+ArtifactCache::load(const std::string &kind, u64 key) const
+{
+    if (!enabled())
+        return std::nullopt;
+    std::string p = path(kind, key);
+    if (!ByteReader::probeFile(p))
+        return std::nullopt;
+    return ByteReader::loadFile(p);
+}
+
+void
+ArtifactCache::store(const std::string &kind, u64 key,
+                     const ByteWriter &blob) const
+{
+    if (!enabled())
+        return;
+    std::string p = path(kind, key);
+    if (!blob.saveFile(p))
+        SPLAB_WARN("cannot write cache artifact ", p);
+}
+
+} // namespace splab

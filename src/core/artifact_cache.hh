@@ -1,0 +1,60 @@
+/**
+ * @file
+ * On-disk artifact cache.
+ *
+ * Bench binaries share expensive intermediates (SimPoint selections,
+ * whole-run cache simulations, timing runs) across processes through
+ * checksummed blobs keyed by content hashes.  Set SPLAB_CACHE="" to
+ * disable, or point it at a directory of your choice.
+ */
+
+#ifndef SPLAB_CORE_ARTIFACT_CACHE_HH
+#define SPLAB_CORE_ARTIFACT_CACHE_HH
+
+#include <optional>
+#include <string>
+
+#include "support/serialize.hh"
+
+namespace splab
+{
+
+/** Content-addressed blob store under one directory. */
+class ArtifactCache
+{
+  public:
+    /** @param dir cache directory; empty disables the cache. */
+    explicit ArtifactCache(std::string dir);
+
+    /** Cache honouring $SPLAB_CACHE. */
+    static ArtifactCache fromEnv();
+
+    bool enabled() const { return !root.empty(); }
+
+    /**
+     * Look up a blob.
+     * @param kind artifact family, e.g. "simpoints"
+     * @param key  content hash of everything the artifact depends on
+     */
+    std::optional<ByteReader> load(const std::string &kind,
+                                   u64 key) const;
+
+    /** Store a blob (no-op when disabled). */
+    void store(const std::string &kind, u64 key,
+               const ByteWriter &blob) const;
+
+    /**
+     * Version salt mixed into every key; bump when serialized
+     * layouts or producing algorithms change.
+     */
+    static constexpr u64 kVersionSalt = 0x53504c41422d7633ULL;
+
+  private:
+    std::string path(const std::string &kind, u64 key) const;
+
+    std::string root;
+};
+
+} // namespace splab
+
+#endif // SPLAB_CORE_ARTIFACT_CACHE_HH

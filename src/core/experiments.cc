@@ -1,0 +1,258 @@
+#include "experiments.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace splab
+{
+
+namespace
+{
+
+template <typename T>
+void
+storePods(const ArtifactCache &cache, const std::string &kind, u64 key,
+          const std::vector<T> &v)
+{
+    ByteWriter w;
+    w.putVector(v);
+    cache.store(kind, key, w);
+}
+
+template <typename T>
+bool
+loadPods(const ArtifactCache &cache, const std::string &kind, u64 key,
+         std::vector<T> &out)
+{
+    auto blob = cache.load(kind, key);
+    if (!blob)
+        return false;
+    out = blob->getVector<T>();
+    return true;
+}
+
+template <typename T>
+void
+storePod(const ArtifactCache &cache, const std::string &kind, u64 key,
+         const T &v)
+{
+    ByteWriter w;
+    w.put(v);
+    cache.store(kind, key, w);
+}
+
+template <typename T>
+bool
+loadPod(const ArtifactCache &cache, const std::string &kind, u64 key,
+        T &out)
+{
+    auto blob = cache.load(kind, key);
+    if (!blob)
+        return false;
+    out = blob->get<T>();
+    return true;
+}
+
+} // namespace
+
+SuiteRunner::SuiteRunner(ExperimentConfig cfg)
+    : cfg(cfg), cache(ArtifactCache::fromEnv()),
+      pipe(cfg.simpoint, ArtifactCache::fromEnv())
+{
+}
+
+SuiteRunner::PerBench &
+SuiteRunner::slot(const std::string &name)
+{
+    return slots[name];
+}
+
+u64
+SuiteRunner::benchKey(const std::string &name, u64 extra)
+{
+    u64 k = spec(name).contentHash();
+    k = hashCombine(k, cfg.simpoint.contentHash());
+    k = hashCombine(k, cfg.machine.contentHash());
+    for (const CacheParams *p :
+         {&cfg.allcache.l1i, &cfg.allcache.l1d, &cfg.allcache.l2,
+          &cfg.allcache.l3}) {
+        k = hashCombine(k, p->sizeBytes);
+        k = hashCombine(k, p->ways);
+        k = hashCombine(k, p->lineBytes);
+    }
+    k = hashCombine(k, cfg.warmupChunks);
+    return hashCombine(k, extra);
+}
+
+const BenchmarkSpec &
+SuiteRunner::spec(const std::string &name)
+{
+    PerBench &s = slot(name);
+    if (!s.haveSpec) {
+        s.spec = benchmarkByName(name);
+        s.haveSpec = true;
+    }
+    return s.spec;
+}
+
+const SimPointResult &
+SuiteRunner::simpoints(const std::string &name)
+{
+    PerBench &s = slot(name);
+    if (!s.haveSimpoints) {
+        s.simpoints = pipe.simpoints(spec(name));
+        s.haveSimpoints = true;
+    }
+    return s.simpoints;
+}
+
+const CacheRunMetrics &
+SuiteRunner::wholeCache(const std::string &name)
+{
+    PerBench &s = slot(name);
+    if (!s.haveWholeCache) {
+        u64 key = benchKey(name, 0xca11ULL);
+        if (!loadPod(cache, "wholecache", key, s.wholeCache)) {
+            SPLAB_INFORM("whole-run cache simulation: ", name);
+            s.wholeCache = measureWholeCache(spec(name), cfg.allcache);
+            storePod(cache, "wholecache", key, s.wholeCache);
+        }
+        s.haveWholeCache = true;
+    }
+    return s.wholeCache;
+}
+
+const std::vector<PointCacheMetrics> &
+SuiteRunner::pointsCacheCold(const std::string &name)
+{
+    PerBench &s = slot(name);
+    if (!s.havePointsCold) {
+        u64 key = benchKey(name, 0xc01dULL);
+        if (!loadPods(cache, "pointscold", key, s.pointsCold)) {
+            SPLAB_INFORM("regional cache replays (cold): ", name);
+            s.pointsCold = measurePointsCache(
+                spec(name), simpoints(name), cfg.allcache, 0);
+            storePods(cache, "pointscold", key, s.pointsCold);
+        }
+        s.havePointsCold = true;
+    }
+    return s.pointsCold;
+}
+
+const std::vector<PointCacheMetrics> &
+SuiteRunner::pointsCacheWarm(const std::string &name)
+{
+    PerBench &s = slot(name);
+    if (!s.havePointsWarm) {
+        u64 key = benchKey(name, 0x3a73ULL);
+        if (!loadPods(cache, "pointswarm", key, s.pointsWarm)) {
+            SPLAB_INFORM("regional cache replays (warmup): ", name);
+            s.pointsWarm = measurePointsCache(
+                spec(name), simpoints(name), cfg.allcache,
+                cfg.warmupChunks);
+            storePods(cache, "pointswarm", key, s.pointsWarm);
+        }
+        s.havePointsWarm = true;
+    }
+    return s.pointsWarm;
+}
+
+const TimingRunMetrics &
+SuiteRunner::wholeTiming(const std::string &name)
+{
+    PerBench &s = slot(name);
+    if (!s.haveWholeTiming) {
+        u64 key = benchKey(name, 0x71113ULL);
+        if (!loadPod(cache, "wholetiming", key, s.wholeTiming)) {
+            SPLAB_INFORM("whole-run timing simulation: ", name);
+            s.wholeTiming = measureWholeTiming(spec(name), cfg.machine);
+            storePod(cache, "wholetiming", key, s.wholeTiming);
+        }
+        s.haveWholeTiming = true;
+    }
+    return s.wholeTiming;
+}
+
+const PerfCounters &
+SuiteRunner::native(const std::string &name)
+{
+    PerBench &s = slot(name);
+    if (!s.haveNative) {
+        u64 key = benchKey(name, 0x9e2fULL);
+        if (!loadPod(cache, "native", key, s.nativeCounters)) {
+            SPLAB_INFORM("native (perf) run: ", name);
+            SyntheticWorkload wl(spec(name));
+            NativeMachine hw(cfg.machine);
+            s.nativeCounters = hw.run(wl);
+            storePod(cache, "native", key, s.nativeCounters);
+        }
+        s.haveNative = true;
+    }
+    return s.nativeCounters;
+}
+
+const std::vector<PointTimingMetrics> &
+SuiteRunner::pointsTiming(const std::string &name)
+{
+    PerBench &s = slot(name);
+    if (!s.havePointsTiming) {
+        u64 key = benchKey(name, 0x5a1b3ULL);
+        if (!loadPods(cache, "pointstiming", key, s.pointsTiming)) {
+            SPLAB_INFORM("regional timing replays: ", name);
+            s.pointsTiming = measurePointsTiming(
+                spec(name), simpoints(name), cfg.machine,
+                cfg.warmupChunks);
+            storePods(cache, "pointstiming", key, s.pointsTiming);
+        }
+        s.havePointsTiming = true;
+    }
+    return s.pointsTiming;
+}
+
+namespace
+{
+
+template <typename P>
+std::vector<P>
+reduceImpl(const std::vector<P> &points, double quantile)
+{
+    std::vector<const P *> sorted;
+    sorted.reserve(points.size());
+    for (const auto &p : points)
+        sorted.push_back(&p);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const P *a, const P *b) {
+                  return a->weight > b->weight;
+              });
+    double total = 0.0;
+    for (const auto &p : points)
+        total += p.weight;
+    std::vector<P> kept;
+    double acc = 0.0;
+    for (const P *p : sorted) {
+        kept.push_back(*p);
+        acc += p->weight;
+        if (acc >= quantile * total - 1e-12)
+            break;
+    }
+    return kept;
+}
+
+} // namespace
+
+std::vector<PointCacheMetrics>
+SuiteRunner::reduceToQuantile(
+    const std::vector<PointCacheMetrics> &points, double quantile)
+{
+    return reduceImpl(points, quantile);
+}
+
+std::vector<PointTimingMetrics>
+SuiteRunner::reduceToQuantile(
+    const std::vector<PointTimingMetrics> &points, double quantile)
+{
+    return reduceImpl(points, quantile);
+}
+
+} // namespace splab

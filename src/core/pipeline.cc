@@ -1,0 +1,104 @@
+#include "pipeline.hh"
+
+#include "pin/engine.hh"
+#include "pin/tools/bbv_tool.hh"
+#include "pinball/logger.hh"
+#include "support/logging.hh"
+#include "workload/synthetic.hh"
+
+namespace splab
+{
+
+void
+serializeSimPoints(ByteWriter &w, const SimPointResult &r)
+{
+    w.put<u32>(r.chosenK);
+    w.put<u64>(r.totalSlices);
+    w.put<u64>(r.sliceInstrs);
+    w.putVector(r.points);
+    w.putVector(r.sliceToCluster);
+    w.putVector(r.sweep);
+}
+
+SimPointResult
+deserializeSimPoints(ByteReader &r)
+{
+    SimPointResult res;
+    res.chosenK = r.get<u32>();
+    res.totalSlices = r.get<u64>();
+    res.sliceInstrs = r.get<u64>();
+    res.points = r.getVector<SimPoint>();
+    res.sliceToCluster = r.getVector<u32>();
+    res.sweep = r.getVector<KSweepEntry>();
+    return res;
+}
+
+PinPointsPipeline::PinPointsPipeline(SimPointConfig cfg,
+                                     ArtifactCache cache)
+    : cfg(cfg), cache(std::move(cache))
+{
+}
+
+std::vector<FrequencyVector>
+PinPointsPipeline::profileBbvs(const BenchmarkSpec &spec) const
+{
+    SyntheticWorkload wl(spec);
+    BbvTool bbv(cfg.sliceInstrs);
+    Engine engine;
+    engine.attach(&bbv);
+    engine.runWhole(wl);
+    return bbv.vectors();
+}
+
+SimPointResult
+PinPointsPipeline::computeOrLoad(const BenchmarkSpec &spec,
+                                 u32 forcedK) const
+{
+    u64 key = hashCombine(
+        hashCombine(spec.contentHash(), cfg.contentHash()), forcedK);
+    if (auto blob = cache.load("simpoints", key))
+        return deserializeSimPoints(*blob);
+
+    SPLAB_VERBOSE("profiling + clustering ", spec.name,
+                  forcedK ? " (forced k)" : "");
+    auto bbvs = profileBbvs(spec);
+    SimPointResult res =
+        forcedK == 0 ? pickSimPoints(bbvs, cfg)
+                     : pickSimPointsForcedK(bbvs, cfg, forcedK);
+
+    ByteWriter w;
+    serializeSimPoints(w, res);
+    cache.store("simpoints", key, w);
+    return res;
+}
+
+SimPointResult
+PinPointsPipeline::simpoints(const BenchmarkSpec &spec) const
+{
+    return computeOrLoad(spec, 0);
+}
+
+SimPointResult
+PinPointsPipeline::simpointsForcedK(const BenchmarkSpec &spec,
+                                    u32 k) const
+{
+    SPLAB_ASSERT(k >= 1, "forced k must be >= 1");
+    return computeOrLoad(spec, k);
+}
+
+Pinball
+PinPointsPipeline::makeWholePinball(const BenchmarkSpec &spec) const
+{
+    SyntheticWorkload wl(spec);
+    return Logger::captureWhole(wl);
+}
+
+Pinball
+PinPointsPipeline::makeRegionalPinball(const BenchmarkSpec &spec) const
+{
+    SyntheticWorkload wl(spec);
+    Pinball whole = Logger::captureWhole(wl);
+    return Logger::makeRegional(whole, simpoints(spec));
+}
+
+} // namespace splab

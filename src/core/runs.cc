@@ -1,0 +1,177 @@
+#include "runs.hh"
+
+#include <chrono>
+
+#include "pin/engine.hh"
+#include "pin/tools/allcache.hh"
+#include "pin/tools/branch_profile.hh"
+#include "pin/tools/ldstmix.hh"
+#include "pinball/logger.hh"
+#include "pinball/replayer.hh"
+#include "support/logging.hh"
+#include "timing/interval_core.hh"
+
+namespace splab
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    auto dt = std::chrono::steady_clock::now() - t0;
+    return std::chrono::duration<double>(dt).count();
+}
+
+CacheRunMetrics
+harvestCache(const AllCacheTool &cache, const LdStMixTool &mix,
+             const BranchProfileTool &branches, ICount instrs,
+             double wallSeconds)
+{
+    CacheRunMetrics m;
+    m.instrs = instrs;
+    m.mixFrac = mix.mix().fractions();
+    auto fill = [](LevelCounts &dst, const CacheStats &src) {
+        dst.accesses = src.accesses;
+        dst.misses = src.misses;
+    };
+    const CacheHierarchy &h = cache.hierarchy();
+    fill(m.l1i, h.levelStats(CacheLevel::L1I));
+    fill(m.l1d, h.levelStats(CacheLevel::L1D));
+    fill(m.l2, h.levelStats(CacheLevel::L2));
+    fill(m.l3, h.levelStats(CacheLevel::L3));
+    m.branches = branches.branchCount();
+    m.wallSeconds = wallSeconds;
+    return m;
+}
+
+TimingRunMetrics
+harvestTiming(const IntervalCoreTool &core, double wallSeconds)
+{
+    const TimingStats &t = core.stats();
+    TimingRunMetrics m;
+    m.instrs = t.instrs;
+    m.cycles = t.cycles;
+    m.branches = t.branches;
+    m.mispredicts = t.mispredicts;
+    m.l2Hits = t.l2Hits;
+    m.l3Hits = t.l3Hits;
+    m.memAccesses = t.memAccesses;
+    m.wallSeconds = wallSeconds;
+    return m;
+}
+
+} // namespace
+
+CacheRunMetrics
+measureWholeCache(const BenchmarkSpec &spec,
+                  const HierarchyConfig &caches)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    SyntheticWorkload wl(spec);
+    AllCacheTool cache(caches);
+    LdStMixTool mix;
+    BranchProfileTool branches;
+    Engine engine;
+    engine.attach(&cache);
+    engine.attach(&mix);
+    engine.attach(&branches);
+    ICount instrs = engine.runWhole(wl);
+    return harvestCache(cache, mix, branches, instrs,
+                        secondsSince(t0));
+}
+
+std::vector<PointCacheMetrics>
+measurePointsCache(const BenchmarkSpec &spec,
+                   const SimPointResult &simpoints,
+                   const HierarchyConfig &caches, u64 warmupChunks)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    SyntheticWorkload wl(spec);
+    Pinball whole = Logger::captureWhole(wl);
+    Pinball regional = Logger::makeRegional(whole, simpoints);
+    Replayer replayer(regional);
+
+    std::vector<PointCacheMetrics> out;
+    out.reserve(regional.regions().size());
+    for (std::size_t i = 0; i < regional.regions().size(); ++i) {
+        auto tp = std::chrono::steady_clock::now();
+        // Each regional pinball replays in a fresh process: cold
+        // caches unless explicitly warmed.
+        AllCacheTool cache(caches);
+        LdStMixTool mix;
+        BranchProfileTool branches;
+        Engine engine;
+
+        if (warmupChunks > 0) {
+            cache.setWarmup(true);
+            engine.attach(&cache);
+            replayer.replayWarmup(i, warmupChunks, engine);
+            cache.setWarmup(false);
+            engine.clearTools();
+        }
+
+        engine.attach(&cache);
+        engine.attach(&mix);
+        engine.attach(&branches);
+        ICount instrs = replayer.replayRegion(i, engine);
+
+        PointCacheMetrics pm;
+        pm.weight = regional.regions()[i].weight;
+        pm.m = harvestCache(cache, mix, branches, instrs,
+                            secondsSince(tp));
+        out.push_back(pm);
+    }
+    (void)t0;
+    return out;
+}
+
+TimingRunMetrics
+measureWholeTiming(const BenchmarkSpec &spec,
+                   const MachineConfig &machine)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    SyntheticWorkload wl(spec);
+    IntervalCoreTool core(machine);
+    Engine engine;
+    engine.attach(&core);
+    engine.runWhole(wl);
+    return harvestTiming(core, secondsSince(t0));
+}
+
+std::vector<PointTimingMetrics>
+measurePointsTiming(const BenchmarkSpec &spec,
+                    const SimPointResult &simpoints,
+                    const MachineConfig &machine, u64 warmupChunks)
+{
+    SyntheticWorkload wl(spec);
+    Pinball whole = Logger::captureWhole(wl);
+    Pinball regional = Logger::makeRegional(whole, simpoints);
+    Replayer replayer(regional);
+
+    std::vector<PointTimingMetrics> out;
+    out.reserve(regional.regions().size());
+    for (std::size_t i = 0; i < regional.regions().size(); ++i) {
+        auto tp = std::chrono::steady_clock::now();
+        IntervalCoreTool core(machine);
+        Engine engine;
+        engine.attach(&core);
+
+        if (warmupChunks > 0) {
+            core.setWarmup(true);
+            replayer.replayWarmup(i, warmupChunks, engine);
+            core.setWarmup(false);
+        }
+
+        replayer.replayRegion(i, engine);
+
+        PointTimingMetrics pm;
+        pm.weight = regional.regions()[i].weight;
+        pm.m = harvestTiming(core, secondsSince(tp));
+        out.push_back(pm);
+    }
+    return out;
+}
+
+} // namespace splab

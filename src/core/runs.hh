@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Measurement drivers: Whole, Regional and Warmup-Regional runs
+ * under the ldstmix/allcache tools and under the timing model.
+ */
+
+#ifndef SPLAB_CORE_RUNS_HH
+#define SPLAB_CORE_RUNS_HH
+
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "metrics.hh"
+#include "perf/native.hh"
+#include "simpoint/simpoint.hh"
+#include "timing/machine_config.hh"
+#include "workload/benchmark_spec.hh"
+
+namespace splab
+{
+
+/**
+ * Whole Run: replay the entire workload under ldstmix + allcache.
+ */
+CacheRunMetrics measureWholeCache(const BenchmarkSpec &spec,
+                                  const HierarchyConfig &caches);
+
+/**
+ * Regional Run: replay each simulation point individually under
+ * ldstmix + allcache, starting from cold microarchitectural state
+ * (plus @p warmupChunks of functional cache warming when nonzero),
+ * exactly as the paper replays each Regional Pinball.
+ *
+ * @return per-point metrics with SimPoint weights attached; feed to
+ *         aggregateCache() for Regional / Reduced Regional numbers.
+ */
+std::vector<PointCacheMetrics> measurePointsCache(
+    const BenchmarkSpec &spec, const SimPointResult &simpoints,
+    const HierarchyConfig &caches, u64 warmupChunks = 0);
+
+/** Whole run under the timing model (full-detail simulation). */
+TimingRunMetrics measureWholeTiming(const BenchmarkSpec &spec,
+                                    const MachineConfig &machine);
+
+/**
+ * Per-simulation-point timing runs (cold core per point, plus
+ * optional warm-up), the "Sniper with SimPoints" configuration of
+ * Figure 12.
+ */
+std::vector<PointTimingMetrics> measurePointsTiming(
+    const BenchmarkSpec &spec, const SimPointResult &simpoints,
+    const MachineConfig &machine, u64 warmupChunks = 0);
+
+} // namespace splab
+
+#endif // SPLAB_CORE_RUNS_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The model <-> paper scale mapping.
+ *
+ * Slice equivalence is 1:3000 — one paper slice of 30M instructions
+ * corresponds to one model slice of 10,000 instructions.  Run-length
+ * equivalence is set per benchmark by the suite table (so that the
+ * whole/regional reduction ratios land in the paper's regime); the
+ * paper-scale instruction counts used for time reporting come from
+ * SuiteEntry::paperInstrsB.
+ */
+
+#ifndef SPLAB_CORE_SCALE_HH
+#define SPLAB_CORE_SCALE_HH
+
+#include "support/types.hh"
+
+namespace splab
+{
+namespace scale
+{
+
+/** Model instructions per paper-equivalent 1M instructions. */
+constexpr double kModelPerPaperMillion = 10000.0 / 30.0;
+
+/** Default model slice = the paper's 30M-instruction slice. */
+constexpr ICount kDefaultSliceInstrs = 10000;
+
+/** Model chunk length (atomic replay unit). */
+constexpr ICount kChunkInstrs = 1000;
+
+/** Model slice length for a paper slice of @p millions Minstrs. */
+constexpr ICount
+sliceForPaperMillions(double millions)
+{
+    double raw = millions * kModelPerPaperMillion;
+    // Round to a whole number of chunks.
+    u64 chunks =
+        static_cast<u64>(raw / static_cast<double>(kChunkInstrs) + 0.5);
+    if (chunks == 0)
+        chunks = 1;
+    return chunks * kChunkInstrs;
+}
+
+/** The paper's slice-size sweep {15, 25, 30, 50, 100}M. */
+constexpr double kPaperSliceSweepM[] = {15, 25, 30, 50, 100};
+
+/** The paper's MaxK sweep {15, 20, 25, 30, 35}. */
+constexpr u32 kMaxKSweep[] = {15, 20, 25, 30, 35};
+
+/** The paper's chosen operating point. */
+constexpr u32 kChosenMaxK = 35;
+constexpr double kChosenSliceM = 30;
+
+/**
+ * Far-cache (L2/L3) capacity divisor at model scale; preserves the
+ * region-size : cache-capacity ratio that governs cold-start
+ * behaviour (see scaleFarCaches()).
+ */
+constexpr u64 kFarCacheDivisor = 128;
+
+} // namespace scale
+} // namespace splab
+
+#endif // SPLAB_CORE_SCALE_HH

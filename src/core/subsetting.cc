@@ -1,0 +1,163 @@
+#include "subsetting.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/logging.hh"
+#include "support/stats_util.hh"
+
+namespace splab
+{
+
+BenchmarkFeatures
+makeFeatures(const std::string &name, const CacheRunMetrics &cache,
+             const TimingRunMetrics &timing)
+{
+    BenchmarkFeatures f;
+    f.name = name;
+    f.values = {cache.mixFrac[0],
+                cache.mixFrac[1],
+                cache.mixFrac[2],
+                cache.mixFrac[3],
+                cache.l1d.missRate(),
+                cache.l2.missRate(),
+                cache.l3.missRate(),
+                timing.cpi(),
+                timing.branches
+                    ? static_cast<double>(timing.mispredicts) /
+                          static_cast<double>(timing.branches)
+                    : 0.0};
+    return f;
+}
+
+namespace
+{
+
+/** Z-score-normalize columns; constant columns become zeros. */
+std::vector<std::vector<double>>
+normalize(const std::vector<BenchmarkFeatures> &features)
+{
+    std::size_t n = features.size();
+    std::size_t dim = features[0].values.size();
+    std::vector<std::vector<double>> rows(n,
+                                          std::vector<double>(dim));
+    for (std::size_t d = 0; d < dim; ++d) {
+        std::vector<double> col(n);
+        for (std::size_t i = 0; i < n; ++i)
+            col[i] = features[i].values[d];
+        double m = mean(col), s = stddev(col);
+        for (std::size_t i = 0; i < n; ++i)
+            rows[i][d] = s > 1e-12 ? (col[i] - m) / s : 0.0;
+    }
+    return rows;
+}
+
+double
+dist2(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double d = a[i] - b[i];
+        s += d * d;
+    }
+    return s;
+}
+
+} // namespace
+
+SuiteSubset
+subsetSuite(const std::vector<BenchmarkFeatures> &features,
+            std::size_t clusters)
+{
+    SPLAB_ASSERT(!features.empty(), "subsetSuite: no benchmarks");
+    for (const auto &f : features)
+        SPLAB_ASSERT(f.values.size() == features[0].values.size(),
+                     "subsetSuite: inconsistent feature dims");
+    std::size_t n = features.size();
+    if (clusters < 1)
+        clusters = 1;
+    if (clusters > n)
+        clusters = n;
+
+    auto rows = normalize(features);
+
+    // Agglomerative average-linkage: start from singletons, merge
+    // the closest pair until `clusters` groups remain.  n is small
+    // (a suite), so the O(n^3) textbook algorithm is fine.
+    std::vector<std::vector<u32>> groups(n);
+    for (u32 i = 0; i < n; ++i)
+        groups[i] = {i};
+
+    auto linkage = [&](const std::vector<u32> &a,
+                       const std::vector<u32> &b) {
+        double s = 0.0;
+        for (u32 i : a)
+            for (u32 j : b)
+                s += std::sqrt(dist2(rows[i], rows[j]));
+        return s / (static_cast<double>(a.size()) *
+                    static_cast<double>(b.size()));
+    };
+
+    while (groups.size() > clusters) {
+        double best = std::numeric_limits<double>::max();
+        std::size_t bi = 0, bj = 1;
+        for (std::size_t i = 0; i < groups.size(); ++i) {
+            for (std::size_t j = i + 1; j < groups.size(); ++j) {
+                double d = linkage(groups[i], groups[j]);
+                if (d < best) {
+                    best = d;
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        groups[bi].insert(groups[bi].end(), groups[bj].begin(),
+                          groups[bj].end());
+        groups.erase(groups.begin() +
+                     static_cast<std::ptrdiff_t>(bj));
+    }
+
+    SuiteSubset out;
+    out.assignment.assign(n, 0);
+    for (u32 c = 0; c < groups.size(); ++c) {
+        for (u32 i : groups[c])
+            out.assignment[i] = c;
+        // Medoid: member minimizing the summed distance to the rest.
+        double best = std::numeric_limits<double>::max();
+        u32 medoid = groups[c].front();
+        for (u32 i : groups[c]) {
+            double s = 0.0;
+            for (u32 j : groups[c])
+                s += std::sqrt(dist2(rows[i], rows[j]));
+            if (s < best) {
+                best = s;
+                medoid = i;
+            }
+        }
+        out.representatives.push_back(medoid);
+    }
+    std::sort(out.representatives.begin(), out.representatives.end());
+    return out;
+}
+
+double
+subsetRepresentationError(
+    const std::vector<BenchmarkFeatures> &features,
+    const SuiteSubset &subset)
+{
+    SPLAB_ASSERT(subset.assignment.size() == features.size(),
+                 "subset does not match feature set");
+    auto rows = normalize(features);
+    // Map cluster -> representative row index.
+    std::vector<u32> repOf(subset.representatives.size());
+    for (u32 r : subset.representatives)
+        repOf[subset.assignment[r]] = r;
+    double s = 0.0;
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        s += std::sqrt(
+            dist2(rows[i], rows[repOf[subset.assignment[i]]]));
+    return s / static_cast<double>(rows.size());
+}
+
+} // namespace splab

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Benchmark-suite subsetting (extension).
+ *
+ * The paper's related work (Limaye & Adegbija; Panda et al.) selects
+ * representative *subsets of the suite* by clustering benchmarks on
+ * architecture-level feature vectors — a complementary axis of
+ * statistical sampling to SimPoint's within-benchmark phases.  This
+ * module implements that methodology: z-score-normalized feature
+ * vectors, average-linkage hierarchical clustering, and medoid
+ * selection per cluster.
+ */
+
+#ifndef SPLAB_CORE_SUBSETTING_HH
+#define SPLAB_CORE_SUBSETTING_HH
+
+#include <string>
+#include <vector>
+
+#include "metrics.hh"
+
+namespace splab
+{
+
+/** Feature vector describing one benchmark's behaviour. */
+struct BenchmarkFeatures
+{
+    std::string name;
+    /** Raw features: mix fractions, miss rates, CPI, mispredict
+     *  rate...; all comparable across benchmarks. */
+    std::vector<double> values;
+};
+
+/** Result of clustering the suite. */
+struct SuiteSubset
+{
+    /** Cluster id per input benchmark (input order). */
+    std::vector<u32> assignment;
+    /** Index of the representative (medoid) of each cluster. */
+    std::vector<u32> representatives;
+
+    std::size_t clusterCount() const { return representatives.size(); }
+};
+
+/**
+ * Build the standard feature vector from a benchmark's whole-run
+ * metrics: 4 mix fractions, 3 data-side miss rates, CPI and branch
+ * misprediction rate.
+ */
+BenchmarkFeatures makeFeatures(const std::string &name,
+                               const CacheRunMetrics &cache,
+                               const TimingRunMetrics &timing);
+
+/**
+ * Agglomerative (average-linkage) clustering of z-score-normalized
+ * feature vectors into @p clusters groups, with the medoid of each
+ * group as its representative.
+ *
+ * @param features one entry per benchmark (all same dimensionality)
+ * @param clusters target subset size (clamped to features.size())
+ */
+SuiteSubset subsetSuite(const std::vector<BenchmarkFeatures> &features,
+                        std::size_t clusters);
+
+/**
+ * Weighted average error of representing every benchmark by its
+ * cluster representative, in normalized feature space (lower is a
+ * better subset).
+ */
+double subsetRepresentationError(
+    const std::vector<BenchmarkFeatures> &features,
+    const SuiteSubset &subset);
+
+} // namespace splab
+
+#endif // SPLAB_CORE_SUBSETTING_HH

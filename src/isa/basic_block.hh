@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Static basic-block descriptors for synthetic programs.
+ *
+ * A synthetic phase owns a set of static basic blocks.  Block
+ * identities are what the BBV profiler counts, so two phases with
+ * disjoint block sets are maximally distant in BBV space, exactly as
+ * two disjoint code regions would be under Pin.
+ */
+
+#ifndef SPLAB_ISA_BASIC_BLOCK_HH
+#define SPLAB_ISA_BASIC_BLOCK_HH
+
+#include <vector>
+
+#include "instr.hh"
+#include "support/types.hh"
+
+namespace splab
+{
+
+/** Static description of one basic block of a synthetic program. */
+struct StaticBlock
+{
+    BlockId id = 0;     ///< globally unique within a workload
+    Addr pc = 0;        ///< code address (drives the L1I stream)
+    u32 instrs = 0;     ///< instructions per execution
+    /** Per-execution breakdown by MemClass; sums to instrs. */
+    std::array<u32, kNumMemClasses> mix{};
+    u32 fpInstrs = 0;   ///< floating-point subset
+    bool endsInBranch = true;
+
+    /** Number of memory references one execution performs. */
+    u32
+    memOps() const
+    {
+        // MEM_RW instructions touch memory twice (read + write).
+        return mix[1] + mix[2] + 2 * mix[3];
+    }
+};
+
+/** Code layout constants for synthetic programs. */
+namespace code_layout
+{
+/** Base of the synthetic text segment. */
+constexpr Addr kTextBase = 0x400000;
+/** Bytes of code per static instruction (x86-ish average). */
+constexpr Addr kBytesPerInstr = 4;
+} // namespace code_layout
+
+} // namespace splab
+
+#endif // SPLAB_ISA_BASIC_BLOCK_HH

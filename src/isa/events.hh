@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Dynamic events delivered by the instrumentation engine to tools.
+ *
+ * The engine executes a workload at basic-block granularity: each
+ * dynamic basic block produces one BlockRecord, zero or more
+ * MemAccess events and at most one BranchRecord (for the terminating
+ * control instruction).
+ */
+
+#ifndef SPLAB_ISA_EVENTS_HH
+#define SPLAB_ISA_EVENTS_HH
+
+#include "instr.hh"
+#include "support/types.hh"
+
+namespace splab
+{
+
+/** One dynamic memory reference. */
+struct MemAccess
+{
+    Addr addr = 0;      ///< byte address
+    u8 size = 8;        ///< access size in bytes
+    bool isWrite = false;
+};
+
+/** Outcome of a dynamic branch instruction. */
+struct BranchRecord
+{
+    Addr pc = 0;        ///< address of the branch instruction
+    bool taken = false;
+    /**
+     * True when the workload model marks this dynamic branch as hard
+     * to predict (data-dependent direction).  The timing model still
+     * runs its own predictor; this flag steers the synthetic
+     * direction stream, not the predictor.
+     */
+    bool dataDependent = false;
+};
+
+/** One dynamic execution of a static basic block. */
+struct BlockRecord
+{
+    BlockId bb = 0;          ///< static basic-block identifier
+    Addr pc = 0;             ///< virtual address of the block start
+    u32 instrs = 0;          ///< total instructions in this execution
+    InstrMix mix;            ///< per-MemClass breakdown (sums to instrs)
+    u32 fpInstrs = 0;        ///< floating-point subset (informational)
+    bool endsInBranch = false;
+};
+
+} // namespace splab
+
+#endif // SPLAB_ISA_EVENTS_HH

@@ -1,0 +1,50 @@
+#include "instr.hh"
+
+#include "support/logging.hh"
+
+namespace splab
+{
+
+const std::string &
+memClassName(MemClass c)
+{
+    static const std::array<std::string, kNumMemClasses> names = {
+        "NO_MEM", "MEM_R", "MEM_W", "MEM_RW"};
+    return names[static_cast<u8>(c)];
+}
+
+std::array<double, kNumMemClasses>
+InstrMix::fractions() const
+{
+    std::array<double, kNumMemClasses> f{};
+    ICount t = total();
+    if (t == 0)
+        return f;
+    for (std::size_t i = 0; i < kNumMemClasses; ++i)
+        f[i] = static_cast<double>(count[i]) / static_cast<double>(t);
+    return f;
+}
+
+void
+MixProfile::normalize()
+{
+    double s = noMem + memR + memW + memRW;
+    SPLAB_ASSERT(s > 0.0, "MixProfile has zero mass");
+    noMem /= s;
+    memR /= s;
+    memW /= s;
+    memRW /= s;
+}
+
+std::array<double, kNumMemClasses>
+MixProfile::cdf() const
+{
+    std::array<double, kNumMemClasses> c{};
+    c[0] = noMem;
+    c[1] = c[0] + memR;
+    c[2] = c[1] + memW;
+    c[3] = c[2] + memRW;
+    return c;
+}
+
+} // namespace splab

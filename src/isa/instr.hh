@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Instruction categories used by the instrumentation tools.
+ *
+ * The paper's ldstmix pintool splits the dynamic instruction stream
+ * into four classes: NO_MEM (no memory operand), MEM_R (source in
+ * memory), MEM_W (destination in memory) and MEM_RW (both, e.g. x86
+ * movs).  We keep the same taxonomy, plus a branch flag used by the
+ * timing model.
+ */
+
+#ifndef SPLAB_ISA_INSTR_HH
+#define SPLAB_ISA_INSTR_HH
+
+#include <array>
+#include <string>
+
+#include "support/types.hh"
+
+namespace splab
+{
+
+/** Memory behaviour of an instruction (the ldstmix taxonomy). */
+enum class MemClass : u8
+{
+    NoMem = 0, ///< no memory operand (compute / control)
+    MemR = 1,  ///< at least one source operand in memory
+    MemW = 2,  ///< destination operand in memory
+    MemRW = 3, ///< both source and destination in memory (e.g. movs)
+};
+
+/** Number of MemClass categories. */
+constexpr std::size_t kNumMemClasses = 4;
+
+/** Display name matching the paper's figures (e.g. "MEM_R"). */
+const std::string &memClassName(MemClass c);
+
+/**
+ * Dynamic instruction counts broken down by MemClass.
+ *
+ * This is the quantity the ldstmix tool reports and the quantity
+ * Figures 3 and 7 compare between Whole and Regional runs.
+ */
+struct InstrMix
+{
+    std::array<ICount, kNumMemClasses> count{};
+
+    ICount
+    total() const
+    {
+        ICount t = 0;
+        for (auto c : count)
+            t += c;
+        return t;
+    }
+
+    ICount &operator[](MemClass c) { return count[static_cast<u8>(c)]; }
+    ICount operator[](MemClass c) const
+    {
+        return count[static_cast<u8>(c)];
+    }
+
+    InstrMix &
+    operator+=(const InstrMix &o)
+    {
+        for (std::size_t i = 0; i < kNumMemClasses; ++i)
+            count[i] += o.count[i];
+        return *this;
+    }
+
+    /** Fraction of each category; all zeros for an empty mix. */
+    std::array<double, kNumMemClasses> fractions() const;
+};
+
+/**
+ * Fractional instruction mix (sums to ~1), the static description a
+ * workload phase is configured with.
+ */
+struct MixProfile
+{
+    double noMem = 0.50;
+    double memR = 0.35;
+    double memW = 0.13;
+    double memRW = 0.02;
+    /** Fraction of all instructions that are branches (subset of
+     *  noMem). */
+    double branch = 0.08;
+
+    /** Renormalize the four memory classes to sum to one. */
+    void normalize();
+
+    /** Cumulative distribution over the four classes, for sampling. */
+    std::array<double, kNumMemClasses> cdf() const;
+};
+
+} // namespace splab
+
+#endif // SPLAB_ISA_INSTR_HH

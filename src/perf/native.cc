@@ -1,0 +1,48 @@
+#include "native.hh"
+
+#include "pin/engine.hh"
+#include "support/rng.hh"
+#include "timing/interval_core.hh"
+
+namespace splab
+{
+
+NativeMachine::NativeMachine(const MachineConfig &hw, double biasSigma,
+                             double jitterSigma)
+    : hwConfig(hw), biasSigma(biasSigma), jitterSigma(jitterSigma)
+{
+}
+
+PerfCounters
+NativeMachine::run(SyntheticWorkload &workload, u64 runIndex)
+{
+    IntervalCoreTool core(hwConfig);
+    Engine engine;
+    engine.attach(&core);
+    engine.runWhole(workload);
+
+    const TimingStats &t = core.stats();
+
+    // Hardware-effects model: systematic per-benchmark bias plus
+    // per-run jitter.
+    u64 benchKey = workload.spec().contentHash();
+    Rng biasRng(benchKey, 0xb1a5ULL);
+    Rng jitterRng(benchKey, runIndex, 0x11f7ULL);
+    double factor = 1.0 + biasSigma * biasRng.gaussian() +
+                    jitterSigma * jitterRng.gaussian();
+    if (factor < 0.5)
+        factor = 0.5;
+
+    PerfCounters c;
+    c.instructions = t.instrs;
+    c.cpuCycles = static_cast<u64>(t.cycles * factor);
+    c.branches = t.branches;
+    c.branchMisses = t.mispredicts;
+    const CacheStats &l3 =
+        core.hierarchy().levelStats(CacheLevel::L3);
+    c.cacheReferences = l3.accesses;
+    c.cacheMisses = l3.misses;
+    return c;
+}
+
+} // namespace splab

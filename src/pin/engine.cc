@@ -1,0 +1,49 @@
+#include "engine.hh"
+
+#include "support/logging.hh"
+
+namespace splab
+{
+
+void
+Engine::attach(PinTool *tool)
+{
+    SPLAB_ASSERT(tool != nullptr, "cannot attach null tool");
+    tools.push_back(tool);
+}
+
+void
+Engine::clearTools()
+{
+    tools.clear();
+}
+
+ICount
+Engine::run(SyntheticWorkload &workload, u64 firstChunk, u64 numChunks)
+{
+    bool needAddresses = false;
+    for (PinTool *t : tools)
+        needAddresses = needAddresses || t->wantsMemory();
+
+    for (PinTool *t : tools)
+        t->onRunStart(workload);
+
+    ICount before = icount;
+    workload.run(firstChunk, numChunks, *this, needAddresses);
+
+    for (PinTool *t : tools)
+        t->onRunEnd();
+
+    return icount - before;
+}
+
+void
+Engine::onBlock(const BlockRecord &rec, const MemAccess *accs,
+                std::size_t nAccs, const BranchRecord *br)
+{
+    icount += rec.instrs;
+    for (PinTool *t : tools)
+        t->onBlock(rec, accs, nAccs, br);
+}
+
+} // namespace splab

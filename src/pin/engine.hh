@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The instrumentation engine: executes a workload window and fans
+ * dynamic events out to attached tools (the Pin analogue).
+ */
+
+#ifndef SPLAB_PIN_ENGINE_HH
+#define SPLAB_PIN_ENGINE_HH
+
+#include <vector>
+
+#include "pintool.hh"
+#include "workload/synthetic.hh"
+
+namespace splab
+{
+
+/**
+ * Runs a SyntheticWorkload under a set of PinTools.
+ *
+ * Tools are attached non-owning; the caller keeps them alive for the
+ * duration of run().  Multiple run() calls against different windows
+ * of the same workload are allowed (tool state carries over, exactly
+ * like a Pintool observing a resumed execution).
+ */
+class Engine : public EventSink
+{
+  public:
+    /** Attach a tool; order of attachment is dispatch order. */
+    void attach(PinTool *tool);
+
+    /** Detach all tools. */
+    void clearTools();
+
+    /**
+     * Execute chunks [firstChunk, firstChunk + numChunks) of
+     * @p workload, delivering events to every attached tool.
+     * @return instructions executed in this window.
+     */
+    ICount run(SyntheticWorkload &workload, u64 firstChunk,
+               u64 numChunks);
+
+    /** Execute the whole workload. */
+    ICount
+    runWhole(SyntheticWorkload &workload)
+    {
+        return run(workload, 0, workload.totalChunks());
+    }
+
+    /** Instructions executed across all run() calls so far. */
+    ICount instructionsExecuted() const { return icount; }
+
+    // EventSink
+    void onBlock(const BlockRecord &rec, const MemAccess *accs,
+                 std::size_t nAccs, const BranchRecord *br) override;
+
+  private:
+    std::vector<PinTool *> tools;
+    ICount icount = 0;
+};
+
+} // namespace splab
+
+#endif // SPLAB_PIN_ENGINE_HH

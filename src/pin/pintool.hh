@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Analysis-tool interface of the instrumentation engine.
+ *
+ * Mirrors the role of a Pintool: a passive observer receiving
+ * callbacks for every dynamic basic block (with its memory accesses
+ * and terminating branch) of the instrumented execution.
+ */
+
+#ifndef SPLAB_PIN_PINTOOL_HH
+#define SPLAB_PIN_PINTOOL_HH
+
+#include "isa/events.hh"
+
+namespace splab
+{
+
+class SyntheticWorkload;
+
+/** Base class for analysis tools attached to the Engine. */
+class PinTool
+{
+  public:
+    virtual ~PinTool() = default;
+
+    /** Short identifier, e.g. "ldstmix". */
+    virtual const char *name() const = 0;
+
+    /**
+     * Whether this tool consumes memory addresses.  When no attached
+     * tool does, the engine skips address generation entirely (a
+     * substantial speedup for BBV-profiling passes).
+     */
+    virtual bool wantsMemory() const { return false; }
+
+    /** Called once before the first block of a run window. */
+    virtual void onRunStart(const SyntheticWorkload &workload)
+    {
+        (void)workload;
+    }
+
+    /**
+     * One dynamic basic block.
+     * @param rec   the block record
+     * @param accs  memory accesses (null when address generation is
+     *              off or the block has none)
+     * @param nAccs number of accesses
+     * @param br    terminating branch or null
+     */
+    virtual void onBlock(const BlockRecord &rec, const MemAccess *accs,
+                         std::size_t nAccs, const BranchRecord *br) = 0;
+
+    /** Called once after the last block of a run window. */
+    virtual void onRunEnd() {}
+};
+
+} // namespace splab
+
+#endif // SPLAB_PIN_PINTOOL_HH

@@ -1,0 +1,24 @@
+#include "allcache.hh"
+
+namespace splab
+{
+
+AllCacheTool::AllCacheTool(const HierarchyConfig &config)
+    : caches(std::make_unique<CacheHierarchy>(config))
+{
+}
+
+void
+AllCacheTool::onBlock(const BlockRecord &rec, const MemAccess *accs,
+                      std::size_t nAccs, const BranchRecord *)
+{
+    // One instruction-fetch lookup per dynamic block.  Blocks are
+    // small relative to I-cache lines and the paper reports L1I miss
+    // rates as negligible, so per-line fetch modelling is not
+    // load-bearing here.
+    caches->accessInstr(rec.pc);
+    for (std::size_t i = 0; i < nAccs; ++i)
+        caches->accessData(accs[i].addr, accs[i].isWrite);
+}
+
+} // namespace splab

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The `allcache` pintool: functional simulation of the I+D cache
+ * hierarchy (Table I by default).
+ */
+
+#ifndef SPLAB_PIN_TOOLS_ALLCACHE_HH
+#define SPLAB_PIN_TOOLS_ALLCACHE_HH
+
+#include <memory>
+
+#include "cache/hierarchy.hh"
+#include "pin/pintool.hh"
+
+namespace splab
+{
+
+/** Drives a CacheHierarchy from the dynamic event stream. */
+class AllCacheTool : public PinTool
+{
+  public:
+    explicit AllCacheTool(const HierarchyConfig &config);
+
+    const char *name() const override { return "allcache"; }
+    bool wantsMemory() const override { return true; }
+
+    void onBlock(const BlockRecord &rec, const MemAccess *accs,
+                 std::size_t nAccs, const BranchRecord *) override;
+
+    CacheHierarchy &hierarchy() { return *caches; }
+    const CacheHierarchy &hierarchy() const { return *caches; }
+
+    /** Enter/leave cache-warming mode (state updates, stats frozen). */
+    void setWarmup(bool on) { caches->setWarmup(on); }
+
+  private:
+    std::unique_ptr<CacheHierarchy> caches;
+};
+
+} // namespace splab
+
+#endif // SPLAB_PIN_TOOLS_ALLCACHE_HH

@@ -1,0 +1,53 @@
+#include "bbv_tool.hh"
+
+#include "support/logging.hh"
+#include "workload/synthetic.hh"
+
+namespace splab
+{
+
+BbvTool::BbvTool(ICount sliceInstrs) : sliceInstrs(sliceInstrs)
+{
+    SPLAB_ASSERT(sliceInstrs > 0, "slice length must be positive");
+}
+
+void
+BbvTool::onRunStart(const SyntheticWorkload &workload)
+{
+    SPLAB_ASSERT(sliceInstrs % workload.chunkLen() == 0,
+                 "slice length ", sliceInstrs,
+                 " must be a multiple of the chunk length ",
+                 workload.chunkLen());
+    if (!acc)
+        acc = std::make_unique<BbvAccumulator>(
+            workload.numStaticBlocks());
+}
+
+void
+BbvTool::onBlock(const BlockRecord &rec, const MemAccess *,
+                 std::size_t, const BranchRecord *)
+{
+    acc->add(rec.bb, static_cast<double>(rec.instrs));
+    inSlice += rec.instrs;
+    if (inSlice >= sliceInstrs) {
+        SPLAB_ASSERT(inSlice == sliceInstrs,
+                     "slice boundary crossed mid-block");
+        slices.push_back(acc->harvest());
+        inSlice = 0;
+    }
+}
+
+void
+BbvTool::onRunEnd()
+{
+    // Keep a final partial slice only if it is at least half full;
+    // SimPoint likewise drops trailing slivers.
+    if (inSlice * 2 >= sliceInstrs && acc && !acc->empty()) {
+        slices.push_back(acc->harvest());
+    } else if (acc && !acc->empty()) {
+        (void)acc->harvest(); // discard the sliver, reset scratch
+    }
+    inSlice = 0;
+}
+
+} // namespace splab

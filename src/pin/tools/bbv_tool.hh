@@ -1,0 +1,55 @@
+/**
+ * @file
+ * BBV-profiling tool: slices the dynamic stream into fixed-size
+ * intervals and collects one basic-block vector per slice (the
+ * PinPoints front-end).
+ */
+
+#ifndef SPLAB_PIN_TOOLS_BBV_TOOL_HH
+#define SPLAB_PIN_TOOLS_BBV_TOOL_HH
+
+#include <memory>
+#include <vector>
+
+#include "pin/pintool.hh"
+#include "simpoint/bbv.hh"
+
+namespace splab
+{
+
+/**
+ * Collects instruction-weighted BBVs, one per @p sliceInstrs-sized
+ * interval.  The slice length must be a whole multiple of the
+ * workload's chunk length so slice boundaries are exact.
+ */
+class BbvTool : public PinTool
+{
+  public:
+    explicit BbvTool(ICount sliceInstrs);
+
+    const char *name() const override { return "bbv"; }
+
+    void onRunStart(const SyntheticWorkload &workload) override;
+    void onBlock(const BlockRecord &rec, const MemAccess *,
+                 std::size_t, const BranchRecord *) override;
+    void onRunEnd() override;
+
+    /** Per-slice BBVs collected so far (final partial slice kept if
+     *  it holds at least half a slice of instructions). */
+    const std::vector<FrequencyVector> &vectors() const
+    {
+        return slices;
+    }
+
+    ICount sliceLength() const { return sliceInstrs; }
+
+  private:
+    ICount sliceInstrs;
+    ICount inSlice = 0;
+    std::unique_ptr<BbvAccumulator> acc;
+    std::vector<FrequencyVector> slices;
+};
+
+} // namespace splab
+
+#endif // SPLAB_PIN_TOOLS_BBV_TOOL_HH

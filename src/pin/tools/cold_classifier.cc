@@ -1,0 +1,77 @@
+#include "cold_classifier.hh"
+
+namespace splab
+{
+
+namespace
+{
+
+u32
+log2u(u64 v)
+{
+    u32 n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+ColdClassifierTool::ColdClassifierTool(const HierarchyConfig &config)
+    : caches(std::make_unique<CacheHierarchy>(config)),
+      lineShift(log2u(config.l1d.lineBytes))
+{
+}
+
+void
+ColdClassifierTool::beginRegion()
+{
+    caches->flush();
+    seenL1d.clear();
+    seenL2.clear();
+    seenL3.clear();
+    statsL1d = ColdMissStats();
+    statsL2 = ColdMissStats();
+    statsL3 = ColdMissStats();
+}
+
+void
+ColdClassifierTool::classify(ColdMissStats &stats,
+                             std::unordered_set<Addr> &seen,
+                             Addr line, bool miss)
+{
+    ++stats.accesses;
+    bool firstTouch = seen.insert(line).second;
+    if (!miss)
+        return;
+    if (firstTouch)
+        ++stats.firstTouchMisses;
+    else
+        ++stats.repeatMisses;
+}
+
+void
+ColdClassifierTool::onBlock(const BlockRecord &rec,
+                            const MemAccess *accs, std::size_t nAccs,
+                            const BranchRecord *)
+{
+    caches->accessInstr(rec.pc);
+    for (std::size_t i = 0; i < nAccs; ++i) {
+        Addr line = accs[i].addr >> lineShift;
+        HitLevel level =
+            caches->accessData(accs[i].addr, accs[i].isWrite);
+        // A request that hit at level N accessed (and missed) every
+        // level above N.
+        classify(statsL1d, seenL1d, line, level != HitLevel::L1);
+        if (level != HitLevel::L1) {
+            classify(statsL2, seenL2, line, level != HitLevel::L2);
+            if (level != HitLevel::L2)
+                classify(statsL3, seenL3, line,
+                         level == HitLevel::Memory);
+        }
+    }
+}
+
+} // namespace splab

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The `inscount0` pintool: dynamic instruction counting.
+ */
+
+#ifndef SPLAB_PIN_TOOLS_INSCOUNT_HH
+#define SPLAB_PIN_TOOLS_INSCOUNT_HH
+
+#include "pin/pintool.hh"
+
+namespace splab
+{
+
+/** Counts dynamic instructions, blocks and branches. */
+class InsCountTool : public PinTool
+{
+  public:
+    const char *name() const override { return "inscount"; }
+
+    void
+    onBlock(const BlockRecord &rec, const MemAccess *,
+            std::size_t, const BranchRecord *br) override
+    {
+        instrs += rec.instrs;
+        ++blocks;
+        if (br)
+            ++branches;
+    }
+
+    ICount instructions() const { return instrs; }
+    u64 blockCount() const { return blocks; }
+    u64 branchCount() const { return branches; }
+
+    void
+    reset()
+    {
+        instrs = 0;
+        blocks = 0;
+        branches = 0;
+    }
+
+  private:
+    ICount instrs = 0;
+    u64 blocks = 0;
+    u64 branches = 0;
+};
+
+} // namespace splab
+
+#endif // SPLAB_PIN_TOOLS_INSCOUNT_HH

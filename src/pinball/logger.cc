@@ -1,0 +1,91 @@
+#include "logger.hh"
+
+#include "support/logging.hh"
+#include "workload/synthetic.hh"
+
+namespace splab
+{
+
+namespace
+{
+
+/** Accumulates an order-sensitive checksum of the event stream. */
+class ChecksumSink : public EventSink
+{
+  public:
+    void
+    onBlock(const BlockRecord &rec, const MemAccess *accs,
+            std::size_t nAccs, const BranchRecord *br) override
+    {
+        sum = hashCombine(sum, rec.bb);
+        sum = hashCombine(sum, rec.instrs);
+        for (std::size_t i = 0; i < nAccs; ++i) {
+            sum = hashCombine(
+                sum, accs[i].addr ^ (accs[i].isWrite ? 1ULL : 0ULL));
+        }
+        if (br)
+            sum = hashCombine(sum, br->pc ^ (br->taken ? 2ULL : 0ULL));
+    }
+
+    u64 value() const { return sum; }
+
+  private:
+    u64 sum = 0x600dC0DEULL;
+};
+
+} // namespace
+
+u64
+Logger::streamChecksum(SyntheticWorkload &workload, u64 firstChunk,
+                       u64 numChunks)
+{
+    ChecksumSink sink;
+    workload.run(firstChunk, numChunks, sink, true);
+    return sink.value();
+}
+
+Pinball
+Logger::captureWhole(SyntheticWorkload &workload, bool verify)
+{
+    RegionDesc whole;
+    whole.firstChunk = 0;
+    whole.numChunks = workload.totalChunks();
+    whole.weight = 1.0;
+
+    Pinball p(PinballKind::Whole, workload.spec(), {whole});
+    if (verify)
+        p.setStreamChecksum(
+            streamChecksum(workload, 0, workload.totalChunks()));
+    return p;
+}
+
+Pinball
+Logger::makeRegional(const Pinball &whole,
+                     const SimPointResult &simpoints)
+{
+    SPLAB_ASSERT(whole.kind() == PinballKind::Whole,
+                 "regional pinballs derive from whole pinballs");
+    const BenchmarkSpec &spec = whole.spec();
+    SPLAB_ASSERT(simpoints.sliceInstrs % spec.chunkLen == 0,
+                 "slice length not chunk aligned");
+    u64 sliceChunks = simpoints.sliceInstrs / spec.chunkLen;
+
+    std::vector<RegionDesc> regions;
+    regions.reserve(simpoints.points.size());
+    for (const auto &sp : simpoints.points) {
+        RegionDesc r;
+        r.firstChunk = sp.slice * sliceChunks;
+        r.numChunks = sliceChunks;
+        if (r.firstChunk >= spec.totalChunks)
+            SPLAB_PANIC("simulation point beyond the captured run");
+        if (r.firstChunk + r.numChunks > spec.totalChunks)
+            r.numChunks = spec.totalChunks - r.firstChunk;
+        r.weight = sp.weight;
+        r.cluster = sp.cluster;
+        r.slice = sp.slice;
+        regions.push_back(r);
+    }
+    return Pinball(PinballKind::Regional, spec, std::move(regions));
+}
+
+} // namespace splab

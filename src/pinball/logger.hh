@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The PinPlay logger: captures executions as pinballs.
+ */
+
+#ifndef SPLAB_PINBALL_LOGGER_HH
+#define SPLAB_PINBALL_LOGGER_HH
+
+#include "pinball.hh"
+#include "simpoint/simpoint.hh"
+
+namespace splab
+{
+
+class SyntheticWorkload;
+
+/**
+ * Creates Whole Pinballs from live executions and extracts Regional
+ * Pinballs from Whole Pinballs given a SimPoint selection.
+ */
+class Logger
+{
+  public:
+    /**
+     * Capture the whole execution of @p workload.
+     *
+     * @param verify when true, the logger actually executes the
+     *        workload and embeds a checksum of the dynamic stream,
+     *        which the replayer can re-verify (slow, like real
+     *        PinPlay logging; off by default).
+     */
+    static Pinball captureWhole(SyntheticWorkload &workload,
+                                bool verify = false);
+
+    /**
+     * Derive the Regional Pinball of @p simpoints from a Whole
+     * Pinball.  Each simulation point becomes one region of
+     * sliceInstrs instructions with the cluster weight attached.
+     */
+    static Pinball makeRegional(const Pinball &whole,
+                                const SimPointResult &simpoints);
+
+    /**
+     * Checksum of the dynamic event stream of a chunk window; pure
+     * function of the workload content (used by verify/replay).
+     */
+    static u64 streamChecksum(SyntheticWorkload &workload,
+                              u64 firstChunk, u64 numChunks);
+};
+
+} // namespace splab
+
+#endif // SPLAB_PINBALL_LOGGER_HH

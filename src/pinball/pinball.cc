@@ -1,0 +1,84 @@
+#include "pinball.hh"
+
+#include "support/logging.hh"
+#include "support/serialize.hh"
+
+namespace splab
+{
+
+namespace
+{
+constexpr u64 kMagic = 0x53504c42'50494e31ULL; // "SPLBPIN1"
+constexpr u32 kVersion = 2;
+} // namespace
+
+Pinball::Pinball(PinballKind kind, BenchmarkSpec spec,
+                 std::vector<RegionDesc> regions)
+    : pinballKind(kind), benchSpec(std::move(spec)),
+      regs(std::move(regions))
+{
+    for (const auto &r : regs) {
+        SPLAB_ASSERT(r.numChunks > 0, "empty pinball region");
+        SPLAB_ASSERT(r.firstChunk + r.numChunks <=
+                         benchSpec.totalChunks,
+                     "pinball region beyond the captured run");
+    }
+}
+
+ICount
+Pinball::coveredInstrs() const
+{
+    ICount total = 0;
+    for (const auto &r : regs)
+        total += r.numChunks * benchSpec.chunkLen;
+    return total;
+}
+
+void
+Pinball::save(const std::string &path) const
+{
+    ByteWriter w;
+    w.put<u64>(kMagic);
+    w.put<u32>(kVersion);
+    w.put<u8>(static_cast<u8>(pinballKind));
+    w.put<u64>(checksum);
+    benchSpec.serialize(w);
+    w.put<u64>(regs.size());
+    for (const auto &r : regs) {
+        w.put<u64>(r.firstChunk);
+        w.put<u64>(r.numChunks);
+        w.put<double>(r.weight);
+        w.put<u32>(r.cluster);
+        w.put<u64>(r.slice);
+    }
+    if (!w.saveFile(path))
+        SPLAB_FATAL("cannot write pinball: ", path);
+}
+
+Pinball
+Pinball::load(const std::string &path)
+{
+    ByteReader r = ByteReader::loadFile(path);
+    if (r.get<u64>() != kMagic)
+        SPLAB_FATAL("not a pinball file: ", path);
+    u32 version = r.get<u32>();
+    if (version != kVersion)
+        SPLAB_FATAL("unsupported pinball version ", version, ": ",
+                    path);
+    Pinball p;
+    p.pinballKind = static_cast<PinballKind>(r.get<u8>());
+    p.checksum = r.get<u64>();
+    p.benchSpec = BenchmarkSpec::deserialize(r);
+    u64 n = r.get<u64>();
+    p.regs.resize(n);
+    for (auto &reg : p.regs) {
+        reg.firstChunk = r.get<u64>();
+        reg.numChunks = r.get<u64>();
+        reg.weight = r.get<double>();
+        reg.cluster = r.get<u32>();
+        reg.slice = r.get<u64>();
+    }
+    return p;
+}
+
+} // namespace splab

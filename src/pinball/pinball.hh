@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Pinballs: self-contained, replayable checkpoints of a workload
+ * execution (the PinPlay analogue).
+ *
+ * A Whole Pinball captures the entire run; a Regional Pinball
+ * captures the set of simulation-point regions plus their weights.
+ * A pinball file embeds the complete benchmark specification, so
+ * replay needs neither the "binary" (suite tables) nor "inputs" —
+ * mirroring PinPlay's property that pinballs replay without the
+ * original program, inputs or licenses.
+ */
+
+#ifndef SPLAB_PINBALL_PINBALL_HH
+#define SPLAB_PINBALL_PINBALL_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/benchmark_spec.hh"
+
+namespace splab
+{
+
+/** Whole-execution vs regional checkpoint. */
+enum class PinballKind : u8
+{
+    Whole = 0,
+    Regional = 1
+};
+
+/** One replayable region (a simulation point). */
+struct RegionDesc
+{
+    u64 firstChunk = 0;
+    u64 numChunks = 0;
+    double weight = 1.0;   ///< cluster share of the whole run
+    u32 cluster = 0;
+    SliceIndex slice = 0;  ///< slice index this region represents
+};
+
+/** An in-memory pinball; save()/load() move it to/from disk. */
+class Pinball
+{
+  public:
+    Pinball() = default;
+    Pinball(PinballKind kind, BenchmarkSpec spec,
+            std::vector<RegionDesc> regions);
+
+    PinballKind kind() const { return pinballKind; }
+    const BenchmarkSpec &spec() const { return benchSpec; }
+    const std::vector<RegionDesc> &regions() const { return regs; }
+
+    /** Total instructions covered by the regions. */
+    ICount coveredInstrs() const;
+
+    /** Stream checksum captured by the logger (0 if not verified). */
+    u64 streamChecksum() const { return checksum; }
+    void setStreamChecksum(u64 c) { checksum = c; }
+
+    /** Persist to @p path; fatal() on I/O failure. */
+    void save(const std::string &path) const;
+
+    /** Load a pinball; fatal() on corruption or bad magic. */
+    static Pinball load(const std::string &path);
+
+  private:
+    PinballKind pinballKind = PinballKind::Whole;
+    BenchmarkSpec benchSpec;
+    std::vector<RegionDesc> regs;
+    u64 checksum = 0;
+};
+
+} // namespace splab
+
+#endif // SPLAB_PINBALL_PINBALL_HH

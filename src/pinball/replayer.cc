@@ -1,0 +1,57 @@
+#include "replayer.hh"
+
+#include "logger.hh"
+#include "support/logging.hh"
+
+namespace splab
+{
+
+Replayer::Replayer(Pinball pinball) : ball(std::move(pinball))
+{
+    wl = std::make_unique<SyntheticWorkload>(ball.spec());
+}
+
+ICount
+Replayer::replayRegion(std::size_t index, Engine &engine)
+{
+    SPLAB_ASSERT(index < ball.regions().size(),
+                 "replay: region ", index, " out of range");
+    const RegionDesc &r = ball.regions()[index];
+    return engine.run(*wl, r.firstChunk, r.numChunks);
+}
+
+ICount
+Replayer::replayWarmup(std::size_t index, u64 warmupChunks,
+                       Engine &engine)
+{
+    SPLAB_ASSERT(index < ball.regions().size(),
+                 "warmup: region ", index, " out of range");
+    const RegionDesc &r = ball.regions()[index];
+    u64 available = r.firstChunk;
+    u64 n = warmupChunks < available ? warmupChunks : available;
+    if (n == 0)
+        return 0;
+    return engine.run(*wl, r.firstChunk - n, n);
+}
+
+ICount
+Replayer::replayAll(Engine &engine)
+{
+    ICount total = 0;
+    for (std::size_t i = 0; i < ball.regions().size(); ++i)
+        total += replayRegion(i, engine);
+    return total;
+}
+
+bool
+Replayer::verifyChecksum()
+{
+    if (ball.streamChecksum() == 0 ||
+        ball.kind() != PinballKind::Whole)
+        return true;
+    u64 fresh =
+        Logger::streamChecksum(*wl, 0, wl->totalChunks());
+    return fresh == ball.streamChecksum();
+}
+
+} // namespace splab

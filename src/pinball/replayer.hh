@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The PinPlay replayer: re-executes pinballs under analysis tools.
+ */
+
+#ifndef SPLAB_PINBALL_REPLAYER_HH
+#define SPLAB_PINBALL_REPLAYER_HH
+
+#include <memory>
+
+#include "pin/engine.hh"
+#include "pinball.hh"
+
+namespace splab
+{
+
+/**
+ * Reconstructs the workload embedded in a pinball and replays its
+ * regions.  The replayer owns the reconstructed workload; engines
+ * and tools are supplied by the caller so the same pinball can be
+ * replayed under different tool stacks (ldstmix, allcache, timing).
+ */
+class Replayer
+{
+  public:
+    explicit Replayer(Pinball pinball);
+
+    const Pinball &pinball() const { return ball; }
+    SyntheticWorkload &workload() { return *wl; }
+
+    /** Number of replayable regions. */
+    std::size_t regionCount() const
+    {
+        return ball.regions().size();
+    }
+
+    /**
+     * Replay region @p index under @p engine.
+     * @return instructions executed.
+     */
+    ICount replayRegion(std::size_t index, Engine &engine);
+
+    /**
+     * Replay up to @p warmupChunks chunks immediately preceding
+     * region @p index (fewer if the region starts near chunk 0).
+     * Tools should be switched to warm-up mode by the caller first.
+     * @return instructions executed.
+     */
+    ICount replayWarmup(std::size_t index, u64 warmupChunks,
+                        Engine &engine);
+
+    /** Replay every region in order. @return instructions executed. */
+    ICount replayAll(Engine &engine);
+
+    /**
+     * Re-verify the stream checksum captured by the logger (whole
+     * pinballs only). @return true when it matches or none stored.
+     */
+    bool verifyChecksum();
+
+  private:
+    Pinball ball;
+    std::unique_ptr<SyntheticWorkload> wl;
+};
+
+} // namespace splab
+
+#endif // SPLAB_PINBALL_REPLAYER_HH

@@ -1,0 +1,80 @@
+#include "baselines.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace splab
+{
+
+namespace
+{
+
+SimPointResult
+fromSlices(std::vector<SliceIndex> slices, u64 totalSlices,
+           ICount sliceInstrs)
+{
+    std::sort(slices.begin(), slices.end());
+    slices.erase(std::unique(slices.begin(), slices.end()),
+                 slices.end());
+    SimPointResult res;
+    res.totalSlices = totalSlices;
+    res.sliceInstrs = sliceInstrs;
+    res.chosenK = static_cast<u32>(slices.size());
+    double w = 1.0 / static_cast<double>(slices.size());
+    for (u32 i = 0; i < slices.size(); ++i) {
+        SimPoint p;
+        p.slice = slices[i];
+        p.weight = w;
+        p.cluster = i;
+        p.clusterSize = totalSlices / slices.size();
+        res.points.push_back(p);
+    }
+    return res;
+}
+
+} // namespace
+
+SimPointResult
+systematicSample(u64 totalSlices, ICount sliceInstrs, u32 n)
+{
+    SPLAB_ASSERT(totalSlices > 0, "systematicSample: empty run");
+    SPLAB_ASSERT(n > 0, "systematicSample: need n >= 1");
+    if (n > totalSlices)
+        n = static_cast<u32>(totalSlices);
+    std::vector<SliceIndex> slices;
+    double stride = static_cast<double>(totalSlices) /
+                    static_cast<double>(n);
+    for (u32 i = 0; i < n; ++i) {
+        auto s = static_cast<SliceIndex>(
+            (static_cast<double>(i) + 0.5) * stride);
+        if (s >= totalSlices)
+            s = totalSlices - 1;
+        slices.push_back(s);
+    }
+    return fromSlices(std::move(slices), totalSlices, sliceInstrs);
+}
+
+SimPointResult
+randomSample(u64 totalSlices, ICount sliceInstrs, u32 n, u64 seed)
+{
+    SPLAB_ASSERT(totalSlices > 0, "randomSample: empty run");
+    SPLAB_ASSERT(n > 0, "randomSample: need n >= 1");
+    if (n > totalSlices)
+        n = static_cast<u32>(totalSlices);
+    Rng rng(seed, 0x5a3eULL);
+    std::vector<SliceIndex> slices;
+    // Rejection sampling without replacement; n << totalSlices in
+    // all realistic uses, so this terminates quickly.
+    std::vector<SliceIndex> sorted;
+    while (slices.size() < n) {
+        SliceIndex s = rng.below(totalSlices);
+        if (std::find(slices.begin(), slices.end(), s) ==
+            slices.end())
+            slices.push_back(s);
+    }
+    return fromSlices(std::move(slices), totalSlices, sliceInstrs);
+}
+
+} // namespace splab

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Baseline statistical-sampling strategies to compare SimPoint
+ * against (cf. SimFlex/SMARTS-style systematic sampling, Section V-B
+ * of the paper).
+ *
+ * Both baselines pick regions without looking at program behaviour:
+ * systematic sampling spaces them evenly through the run; random
+ * sampling draws them uniformly.  Each selected slice carries equal
+ * weight.  They produce SimPointResult-shaped outputs so the whole
+ * measurement stack (regional pinballs, replay, aggregation) can be
+ * reused unchanged.
+ */
+
+#ifndef SPLAB_SIMPOINT_BASELINES_HH
+#define SPLAB_SIMPOINT_BASELINES_HH
+
+#include "simpoint.hh"
+
+namespace splab
+{
+
+/**
+ * Evenly-spaced sampling: @p n slices at a fixed stride through the
+ * run (first at stride/2, SMARTS-style).
+ *
+ * @param totalSlices slices in the whole run
+ * @param sliceInstrs slice length (model instructions)
+ * @param n           number of samples (clamped to totalSlices)
+ */
+SimPointResult systematicSample(u64 totalSlices, ICount sliceInstrs,
+                                u32 n);
+
+/**
+ * Uniform random sampling without replacement of @p n slices.
+ */
+SimPointResult randomSample(u64 totalSlices, ICount sliceInstrs,
+                            u32 n, u64 seed);
+
+} // namespace splab
+
+#endif // SPLAB_SIMPOINT_BASELINES_HH

@@ -1,0 +1,50 @@
+#include "bbv.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace splab
+{
+
+double
+FrequencyVector::l1Norm() const
+{
+    double s = 0.0;
+    for (const auto &e : entries)
+        s += e.weight;
+    return s;
+}
+
+void
+FrequencyVector::normalize()
+{
+    double n = l1Norm();
+    if (n <= 0.0)
+        return;
+    for (auto &e : entries)
+        e.weight = static_cast<float>(e.weight / n);
+}
+
+BbvAccumulator::BbvAccumulator(std::size_t dimensions)
+    : scratch(dimensions, 0.0)
+{
+    touched.reserve(256);
+}
+
+FrequencyVector
+BbvAccumulator::harvest()
+{
+    FrequencyVector v;
+    std::sort(touched.begin(), touched.end());
+    v.entries.reserve(touched.size());
+    for (u32 b : touched) {
+        SPLAB_ASSERT(b < scratch.size(), "block id out of range");
+        v.entries.push_back({b, static_cast<float>(scratch[b])});
+        scratch[b] = 0.0;
+    }
+    touched.clear();
+    return v;
+}
+
+} // namespace splab

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Basic Block Vectors (BBVs).
+ *
+ * A BBV summarises one execution slice: for every static basic block,
+ * how many instructions the slice spent in it (execution count
+ * weighted by block size, as in SimPoint).  Slices whose BBVs are
+ * close executed similar code and are expected to behave similarly —
+ * the foundational assumption of the SimPoint methodology.
+ */
+
+#ifndef SPLAB_SIMPOINT_BBV_HH
+#define SPLAB_SIMPOINT_BBV_HH
+
+#include <vector>
+
+#include "support/types.hh"
+
+namespace splab
+{
+
+/** One (block, instruction-weight) coordinate of a sparse BBV. */
+struct BbvEntry
+{
+    u32 block = 0;
+    float weight = 0.0f;
+};
+
+/** Sparse instruction-weighted basic-block vector of one slice. */
+struct FrequencyVector
+{
+    std::vector<BbvEntry> entries;
+
+    /** Sum of weights (total instructions in the slice). */
+    double l1Norm() const;
+
+    /** Scale so the L1 norm is 1; no-op on an empty vector. */
+    void normalize();
+};
+
+/**
+ * Accumulates one slice's BBV against a dense scratch array, then
+ * extracts the sparse vector.  Reused across slices to avoid
+ * allocation churn.
+ */
+class BbvAccumulator
+{
+  public:
+    /** @param dimensions number of distinct static blocks. */
+    explicit BbvAccumulator(std::size_t dimensions);
+
+    /** Add @p instrs instructions of block @p b to the current slice. */
+    void
+    add(u32 b, double instrs)
+    {
+        if (scratch[b] == 0.0)
+            touched.push_back(b);
+        scratch[b] += instrs;
+    }
+
+    /** Finish the slice: emit its sparse BBV and reset. */
+    FrequencyVector harvest();
+
+    bool empty() const { return touched.empty(); }
+
+  private:
+    std::vector<double> scratch;
+    std::vector<u32> touched;
+};
+
+} // namespace splab
+
+#endif // SPLAB_SIMPOINT_BBV_HH

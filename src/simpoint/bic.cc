@@ -1,0 +1,62 @@
+#include "bic.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace splab
+{
+
+double
+bicScore(const KMeansResult &fit,
+         const std::vector<std::vector<double>> &points)
+{
+    const double r = static_cast<double>(points.size());
+    const double m = static_cast<double>(points[0].size());
+    const double k = static_cast<double>(fit.k);
+    SPLAB_ASSERT(r >= 1.0, "bic: no points");
+
+    // Pooled spherical variance estimate.
+    double denom = (r - k) * m;
+    double sigma2 = denom > 0.0 ? fit.distortion / denom : 0.0;
+    if (sigma2 < 1e-12)
+        sigma2 = 1e-12; // degenerate fits: every point on a centroid
+
+    double logL = 0.0;
+    for (u32 c = 0; c < fit.k; ++c) {
+        double rc = static_cast<double>(fit.clusterSize[c]);
+        if (rc <= 0.0)
+            continue;
+        logL += rc * std::log(rc / r);
+    }
+    logL -= r * m / 2.0 * std::log(2.0 * M_PI * sigma2);
+    logL -= (r - k) * m / 2.0;
+
+    double params = k * (m + 1.0);
+    return logL - params / 2.0 * std::log(r);
+}
+
+std::size_t
+pickByBicFraction(const std::vector<double> &scores, double fraction)
+{
+    SPLAB_ASSERT(!scores.empty(), "bic: no scores to pick from");
+    double lo = scores[0], hi = scores[0];
+    for (double s : scores) {
+        lo = s < lo ? s : lo;
+        hi = s > hi ? s : hi;
+    }
+    if (hi <= lo)
+        return 0; // flat curve: smallest k wins
+
+    // SimPoint's rule: the smallest k scoring at least `fraction`
+    // of the best BIC.  The raw ratio only makes sense for positive
+    // scores; otherwise fall back to range normalization.
+    double threshold =
+        hi > 0.0 ? fraction * hi : hi - (1.0 - fraction) * (hi - lo);
+    for (std::size_t i = 0; i < scores.size(); ++i)
+        if (scores[i] >= threshold)
+            return i;
+    return scores.size() - 1;
+}
+
+} // namespace splab

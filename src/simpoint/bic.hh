@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Bayesian Information Criterion scoring of k-means fits, used by
+ * SimPoint to pick the number of clusters.
+ */
+
+#ifndef SPLAB_SIMPOINT_BIC_HH
+#define SPLAB_SIMPOINT_BIC_HH
+
+#include "kmeans.hh"
+
+namespace splab
+{
+
+/**
+ * BIC of a k-means clustering under the identical-spherical-Gaussian
+ * model (Pelleg & Moore, X-means): log-likelihood of the data minus
+ * a complexity penalty of (p/2) log R with p = K*(D+1) free
+ * parameters.  Larger is better.
+ */
+double bicScore(const KMeansResult &fit,
+                const std::vector<std::vector<double>> &points);
+
+/**
+ * SimPoint's model-selection rule: given BIC scores for increasing
+ * k, pick the index of the smallest k whose range-normalized score
+ * reaches @p fraction (default 0.9) of the best.
+ *
+ * @return index into @p scores.
+ */
+std::size_t pickByBicFraction(const std::vector<double> &scores,
+                              double fraction);
+
+} // namespace splab
+
+#endif // SPLAB_SIMPOINT_BIC_HH

@@ -1,0 +1,182 @@
+#include "kmeans.hh"
+
+#include <limits>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace splab
+{
+
+double
+squaredDistance(const std::vector<double> &a,
+                const std::vector<double> &b)
+{
+    SPLAB_ASSERT(a.size() == b.size(), "dimension mismatch");
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double d = a[i] - b[i];
+        s += d * d;
+    }
+    return s;
+}
+
+double
+KMeansResult::avgClusterVariance(
+    const std::vector<std::vector<double>> &points) const
+{
+    if (k == 0 || points.empty())
+        return 0.0;
+    std::vector<double> sum(k, 0.0);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        sum[assignment[i]] +=
+            squaredDistance(points[i], centroids[assignment[i]]);
+    double acc = 0.0;
+    u32 live = 0;
+    for (u32 c = 0; c < k; ++c) {
+        if (clusterSize[c] == 0)
+            continue;
+        acc += sum[c] / static_cast<double>(clusterSize[c]);
+        ++live;
+    }
+    return live ? acc / static_cast<double>(live) : 0.0;
+}
+
+namespace
+{
+
+/** k-means++ initial centroid selection. */
+std::vector<std::vector<double>>
+seedCentroids(const std::vector<std::vector<double>> &points, u32 k,
+              Rng &rng)
+{
+    std::vector<std::vector<double>> centroids;
+    centroids.reserve(k);
+    centroids.push_back(points[rng.below(points.size())]);
+
+    std::vector<double> d2(points.size(),
+                           std::numeric_limits<double>::max());
+    while (centroids.size() < k) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            double d = squaredDistance(points[i], centroids.back());
+            if (d < d2[i])
+                d2[i] = d;
+            total += d2[i];
+        }
+        if (total <= 0.0) {
+            // All remaining points coincide with a centroid; pad
+            // with duplicates (clusters will come back empty).
+            centroids.push_back(points[rng.below(points.size())]);
+            continue;
+        }
+        double u = rng.uniform() * total;
+        double acc = 0.0;
+        std::size_t pick = points.size() - 1;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            acc += d2[i];
+            if (acc >= u) {
+                pick = i;
+                break;
+            }
+        }
+        centroids.push_back(points[pick]);
+    }
+    return centroids;
+}
+
+} // namespace
+
+KMeansResult
+kmeansFit(const std::vector<std::vector<double>> &points, u32 k,
+          u64 seed, int maxIters)
+{
+    SPLAB_ASSERT(!points.empty(), "kmeans: no points");
+    if (k > points.size())
+        k = static_cast<u32>(points.size());
+    SPLAB_ASSERT(k >= 1, "kmeans: k must be >= 1");
+
+    const std::size_t n = points.size();
+    const std::size_t dim = points[0].size();
+
+    Rng rng(seed, 0x63a5ULL);
+    KMeansResult res;
+    res.k = k;
+    res.centroids = seedCentroids(points, k, rng);
+    res.assignment.assign(n, 0);
+    res.clusterSize.assign(k, 0);
+
+    std::vector<std::vector<double>> sums(
+        k, std::vector<double>(dim, 0.0));
+
+    for (int iter = 0; iter < maxIters; ++iter) {
+        bool changed = false;
+        res.distortion = 0.0;
+        for (auto &s : sums)
+            s.assign(dim, 0.0);
+        std::fill(res.clusterSize.begin(), res.clusterSize.end(), 0);
+
+        for (std::size_t i = 0; i < n; ++i) {
+            double best = std::numeric_limits<double>::max();
+            u32 bestC = 0;
+            for (u32 c = 0; c < k; ++c) {
+                double d = squaredDistance(points[i],
+                                           res.centroids[c]);
+                if (d < best) {
+                    best = d;
+                    bestC = c;
+                }
+            }
+            if (res.assignment[i] != bestC) {
+                res.assignment[i] = bestC;
+                changed = true;
+            }
+            res.distortion += best;
+            ++res.clusterSize[bestC];
+            const auto &p = points[i];
+            auto &s = sums[bestC];
+            for (std::size_t d = 0; d < dim; ++d)
+                s[d] += p[d];
+        }
+
+        for (u32 c = 0; c < k; ++c) {
+            if (res.clusterSize[c] == 0) {
+                // Re-seed an empty cluster at a random point.
+                res.centroids[c] = points[rng.below(n)];
+                changed = true;
+                continue;
+            }
+            for (std::size_t d = 0; d < dim; ++d)
+                res.centroids[c][d] =
+                    sums[c][d] /
+                    static_cast<double>(res.clusterSize[c]);
+        }
+
+        res.iterations = iter + 1;
+        if (!changed) {
+            res.converged = true;
+            break;
+        }
+    }
+    return res;
+}
+
+KMeansResult
+kmeansBestOf(const std::vector<std::vector<double>> &points, u32 k,
+             u64 seed, int restarts, int maxIters)
+{
+    SPLAB_ASSERT(restarts >= 1, "kmeans: restarts must be >= 1");
+    KMeansResult best;
+    bool first = true;
+    for (int r = 0; r < restarts; ++r) {
+        KMeansResult cur =
+            kmeansFit(points, k, hashCombine(seed, r), maxIters);
+        if (first || cur.distortion < best.distortion) {
+            best = std::move(cur);
+            first = false;
+        }
+    }
+    return best;
+}
+
+} // namespace splab

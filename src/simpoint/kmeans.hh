@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Lloyd's k-means with k-means++ seeding, the clustering engine of
+ * the SimPoint methodology.
+ */
+
+#ifndef SPLAB_SIMPOINT_KMEANS_HH
+#define SPLAB_SIMPOINT_KMEANS_HH
+
+#include <vector>
+
+#include "support/types.hh"
+
+namespace splab
+{
+
+/** Outcome of one k-means fit. */
+struct KMeansResult
+{
+    u32 k = 0;
+    std::vector<u32> assignment;              ///< point -> cluster
+    std::vector<std::vector<double>> centroids;
+    std::vector<u64> clusterSize;
+    double distortion = 0.0; ///< sum of squared distances
+    int iterations = 0;
+    bool converged = false;
+
+    /** Mean over clusters of the within-cluster mean squared
+     *  distance (the paper's Figure 4 "variance"). */
+    double avgClusterVariance(const
+        std::vector<std::vector<double>> &points) const;
+};
+
+/** Squared Euclidean distance between two dense vectors. */
+double squaredDistance(const std::vector<double> &a,
+                       const std::vector<double> &b);
+
+/**
+ * Fit k-means to @p points.
+ *
+ * @param points   dense row vectors (all the same dimensionality)
+ * @param k        number of clusters (clamped to points.size())
+ * @param seed     seeding determinism
+ * @param maxIters Lloyd iteration cap
+ */
+KMeansResult kmeansFit(const std::vector<std::vector<double>> &points,
+                       u32 k, u64 seed, int maxIters = 40);
+
+/**
+ * Best of @p restarts fits (lowest distortion), varying the seed.
+ */
+KMeansResult kmeansBestOf(
+    const std::vector<std::vector<double>> &points, u32 k, u64 seed,
+    int restarts, int maxIters = 40);
+
+} // namespace splab
+
+#endif // SPLAB_SIMPOINT_KMEANS_HH

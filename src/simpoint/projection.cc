@@ -1,0 +1,44 @@
+#include "projection.hh"
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace splab
+{
+
+RandomProjection::RandomProjection(u32 dims, u64 seed)
+    : numDims(dims), seed(seed)
+{
+    SPLAB_ASSERT(dims >= 1 && dims <= 256,
+                 "projection dims out of range: ", dims);
+}
+
+void
+RandomProjection::project(const FrequencyVector &v,
+                          std::vector<double> &out) const
+{
+    out.assign(numDims, 0.0);
+    for (const auto &e : v.entries) {
+        u64 h = hashCombine(seed, e.block);
+        double w = static_cast<double>(e.weight);
+        for (u32 d = 0; d < numDims; ++d) {
+            // Uniform in [-1, 1), deterministic per (block, dim).
+            u64 r = mix64(h + d);
+            double coef = static_cast<double>(r >> 11) * 0x1.0p-52 -
+                          1.0;
+            out[d] += w * coef;
+        }
+    }
+}
+
+std::vector<std::vector<double>>
+RandomProjection::projectAll(
+    const std::vector<FrequencyVector> &vs) const
+{
+    std::vector<std::vector<double>> rows(vs.size());
+    for (std::size_t i = 0; i < vs.size(); ++i)
+        project(vs[i], rows[i]);
+    return rows;
+}
+
+} // namespace splab

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Random projection of BBVs to a low-dimensional space.
+ *
+ * SimPoint 3.0 projects basic-block vectors down to 15 dimensions
+ * before clustering; random projection approximately preserves
+ * pairwise distances (Johnson-Lindenstrauss) at a fraction of the
+ * cost.  The projection matrix is never materialised: entry (b, d)
+ * is derived from a counter-based hash.
+ */
+
+#ifndef SPLAB_SIMPOINT_PROJECTION_HH
+#define SPLAB_SIMPOINT_PROJECTION_HH
+
+#include <vector>
+
+#include "bbv.hh"
+
+namespace splab
+{
+
+/** Projects sparse BBVs into a dense D-dimensional space. */
+class RandomProjection
+{
+  public:
+    /**
+     * @param dims target dimensionality (SimPoint default: 15)
+     * @param seed projection-matrix seed
+     */
+    RandomProjection(u32 dims, u64 seed);
+
+    u32 dims() const { return numDims; }
+
+    /**
+     * Project an (L1-normalized) BBV.
+     * @param v   sparse input vector
+     * @param out dense output, resized to dims()
+     */
+    void project(const FrequencyVector &v,
+                 std::vector<double> &out) const;
+
+    /** Project a batch; rows of the result align with @p vs. */
+    std::vector<std::vector<double>>
+    projectAll(const std::vector<FrequencyVector> &vs) const;
+
+  private:
+    u32 numDims;
+    u64 seed;
+};
+
+} // namespace splab
+
+#endif // SPLAB_SIMPOINT_PROJECTION_HH

@@ -1,0 +1,320 @@
+#include "simpoint.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/serialize.hh"
+
+namespace splab
+{
+
+u64
+SimPointConfig::contentHash() const
+{
+    ByteWriter w;
+    w.put<u32>(maxK);
+    w.put<u64>(sliceInstrs);
+    w.put<u32>(projectionDim);
+    w.put<double>(bicFraction);
+    w.put<int>(restarts);
+    w.put<int>(maxIters);
+    w.put<u32>(sampleCap);
+    w.put<double>(mergeThreshold);
+    w.put<u64>(seed);
+    return hashBytes(w.bytes().data(), w.bytes().size());
+}
+
+double
+SimPointResult::totalWeight() const
+{
+    double s = 0.0;
+    for (const auto &p : points)
+        s += p.weight;
+    return s;
+}
+
+std::vector<SimPoint>
+SimPointResult::byDescendingWeight() const
+{
+    std::vector<SimPoint> sorted = points;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const SimPoint &a, const SimPoint &b) {
+                  if (a.weight != b.weight)
+                      return a.weight > b.weight;
+                  return a.slice < b.slice;
+              });
+    return sorted;
+}
+
+std::vector<SimPoint>
+SimPointResult::topByWeight(double quantile) const
+{
+    std::vector<SimPoint> sorted = byDescendingWeight();
+    double total = totalWeight();
+    std::vector<SimPoint> kept;
+    double acc = 0.0;
+    for (const auto &p : sorted) {
+        kept.push_back(p);
+        acc += p.weight;
+        if (acc >= quantile * total - 1e-12)
+            break;
+    }
+    return kept;
+}
+
+namespace
+{
+
+/** Strided deterministic sub-sample of [0, n). */
+std::vector<u32>
+strideSample(std::size_t n, u32 cap)
+{
+    std::vector<u32> idx;
+    if (n <= cap) {
+        idx.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            idx[i] = static_cast<u32>(i);
+        return idx;
+    }
+    idx.reserve(cap);
+    double step = static_cast<double>(n) / static_cast<double>(cap);
+    for (u32 i = 0; i < cap; ++i)
+        idx.push_back(static_cast<u32>(
+            static_cast<double>(i) * step));
+    return idx;
+}
+
+/** Union-find with path halving. */
+u32
+findRoot(std::vector<u32> &parent, u32 x)
+{
+    while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+    }
+    return x;
+}
+
+/** Build the final result from a fit over the sample. */
+SimPointResult
+finalize(const KMeansResult &fit,
+         const std::vector<std::vector<double>> &allProjected,
+         const std::vector<std::vector<double>> &samplePoints,
+         const SimPointConfig &cfg)
+{
+    SimPointResult res;
+    res.totalSlices = allProjected.size();
+    res.sliceInstrs = cfg.sliceInstrs;
+
+    const std::size_t dim = allProjected[0].size();
+
+    // Pass 1: assign every slice (not just the sample) to its
+    // nearest k-means centroid.
+    std::vector<u32> rawAssign(allProjected.size(), 0);
+    std::vector<u64> population(fit.k, 0);
+    std::vector<std::vector<double>> distances(fit.k);
+    for (std::size_t i = 0; i < allProjected.size(); ++i) {
+        double best = std::numeric_limits<double>::max();
+        u32 bestC = 0;
+        for (u32 c = 0; c < fit.k; ++c) {
+            double d = squaredDistance(allProjected[i],
+                                       fit.centroids[c]);
+            if (d < best) {
+                best = d;
+                bestC = c;
+            }
+        }
+        rawAssign[i] = bestC;
+        ++population[bestC];
+        distances[bestC].push_back(best);
+    }
+
+    // Merge clusters whose centroids overlap within their own
+    // spread (see SimPointConfig::mergeThreshold).  Spread is the
+    // *core* (20%-trimmed) variance: a tight cluster stays tight
+    // even when a few phase-boundary mixture slices were assigned
+    // to it, so genuinely distinct small phases do not merge.
+    std::vector<u32> parent(fit.k);
+    for (u32 c = 0; c < fit.k; ++c)
+        parent[c] = c;
+    if (cfg.mergeThreshold > 0.0) {
+        std::vector<double> variance(fit.k, 0.0);
+        for (u32 c = 0; c < fit.k; ++c) {
+            if (population[c] == 0)
+                continue;
+            std::sort(distances[c].begin(), distances[c].end());
+            std::size_t keep =
+                std::max<std::size_t>(1, distances[c].size() * 8 / 10);
+            double s = 0.0;
+            for (std::size_t i = 0; i < keep; ++i)
+                s += distances[c][i];
+            variance[c] = s / static_cast<double>(keep);
+        }
+        for (u32 i = 0; i < fit.k; ++i) {
+            if (population[i] == 0)
+                continue;
+            for (u32 j = i + 1; j < fit.k; ++j) {
+                if (population[j] == 0)
+                    continue;
+                double sep = squaredDistance(fit.centroids[i],
+                                             fit.centroids[j]);
+                if (sep < cfg.mergeThreshold *
+                              (variance[i] + variance[j]))
+                    parent[findRoot(parent, j)] =
+                        findRoot(parent, i);
+            }
+        }
+    }
+
+    // Compact group ids and compute merged centroids
+    // (population-weighted averages of the k-means centroids).
+    std::vector<u32> groupOf(fit.k, 0);
+    std::vector<std::vector<double>> groupCentroid;
+    std::vector<u64> groupPop;
+    std::vector<i64> groupIdOfRoot(fit.k, -1);
+    for (u32 c = 0; c < fit.k; ++c) {
+        if (population[c] == 0)
+            continue;
+        u32 root = findRoot(parent, c);
+        if (groupIdOfRoot[root] < 0) {
+            groupIdOfRoot[root] =
+                static_cast<i64>(groupCentroid.size());
+            groupCentroid.emplace_back(dim, 0.0);
+            groupPop.push_back(0);
+        }
+        u32 g = static_cast<u32>(groupIdOfRoot[root]);
+        groupOf[c] = g;
+        double w = static_cast<double>(population[c]);
+        for (std::size_t d = 0; d < dim; ++d)
+            groupCentroid[g][d] += w * fit.centroids[c][d];
+        groupPop[g] += population[c];
+    }
+    for (std::size_t g = 0; g < groupCentroid.size(); ++g)
+        for (std::size_t d = 0; d < dim; ++d)
+            groupCentroid[g][d] /=
+                static_cast<double>(groupPop[g]);
+
+    // Pass 2: relabel slices, pick the representative (closest to
+    // the merged centroid) and the within-group variance.
+    std::size_t nGroups = groupCentroid.size();
+    res.chosenK = static_cast<u32>(nGroups);
+    res.sliceToCluster.assign(allProjected.size(), 0);
+    std::vector<double> bestDist(
+        nGroups, std::numeric_limits<double>::max());
+    std::vector<SliceIndex> representative(nGroups, 0);
+    std::vector<double> groupSumDist(nGroups, 0.0);
+    for (std::size_t i = 0; i < allProjected.size(); ++i) {
+        u32 g = groupOf[rawAssign[i]];
+        res.sliceToCluster[i] = g;
+        double d =
+            squaredDistance(allProjected[i], groupCentroid[g]);
+        groupSumDist[g] += d;
+        if (d < bestDist[g]) {
+            bestDist[g] = d;
+            representative[g] = i;
+        }
+    }
+
+    double total = static_cast<double>(allProjected.size());
+    for (u32 g = 0; g < nGroups; ++g) {
+        SimPoint p;
+        p.slice = representative[g];
+        p.cluster = g;
+        p.clusterSize = groupPop[g];
+        p.weight = static_cast<double>(groupPop[g]) / total;
+        p.variance =
+            groupSumDist[g] / static_cast<double>(groupPop[g]);
+        res.points.push_back(p);
+    }
+    std::sort(res.points.begin(), res.points.end(),
+              [](const SimPoint &a, const SimPoint &b) {
+                  return a.slice < b.slice;
+              });
+    // Cluster ids in points must track the sorted order's identity;
+    // they already name the group labels used in sliceToCluster.
+    (void)samplePoints;
+    return res;
+}
+
+} // namespace
+
+SimPointResult
+pickSimPoints(const std::vector<FrequencyVector> &bbvs,
+              const SimPointConfig &cfg)
+{
+    SPLAB_ASSERT(!bbvs.empty(), "simpoint: no slices");
+
+    // Normalize + project every slice.
+    std::vector<FrequencyVector> norm = bbvs;
+    for (auto &v : norm)
+        v.normalize();
+    RandomProjection proj(cfg.projectionDim,
+                          hashCombine(cfg.seed, 0x9e37ULL));
+    auto projected = proj.projectAll(norm);
+
+    // Cluster on a strided sub-sample for tractability.
+    auto sampleIdx = strideSample(projected.size(), cfg.sampleCap);
+    std::vector<std::vector<double>> sample;
+    sample.reserve(sampleIdx.size());
+    for (u32 i : sampleIdx)
+        sample.push_back(projected[i]);
+
+    u32 maxK = cfg.maxK;
+    if (maxK > sample.size())
+        maxK = static_cast<u32>(sample.size());
+
+    std::vector<KMeansResult> fits;
+    std::vector<double> scores;
+    SimPointResult res;
+    fits.reserve(maxK);
+    for (u32 k = 1; k <= maxK; ++k) {
+        KMeansResult fit =
+            kmeansBestOf(sample, k, hashCombine(cfg.seed, k),
+                         cfg.restarts, cfg.maxIters);
+        double bic = bicScore(fit, sample);
+        res.sweep.push_back({k, bic, fit.distortion,
+                             fit.avgClusterVariance(sample)});
+        scores.push_back(bic);
+        fits.push_back(std::move(fit));
+    }
+
+    std::size_t pick = pickByBicFraction(scores, cfg.bicFraction);
+    SimPointResult out =
+        finalize(fits[pick], projected, sample, cfg);
+    out.sweep = std::move(res.sweep);
+    return out;
+}
+
+SimPointResult
+pickSimPointsForcedK(const std::vector<FrequencyVector> &bbvs,
+                     const SimPointConfig &cfg, u32 k)
+{
+    SPLAB_ASSERT(!bbvs.empty(), "simpoint: no slices");
+    SPLAB_ASSERT(k >= 1, "simpoint: forced k must be >= 1");
+
+    std::vector<FrequencyVector> norm = bbvs;
+    for (auto &v : norm)
+        v.normalize();
+    RandomProjection proj(cfg.projectionDim,
+                          hashCombine(cfg.seed, 0x9e37ULL));
+    auto projected = proj.projectAll(norm);
+
+    auto sampleIdx = strideSample(projected.size(), cfg.sampleCap);
+    std::vector<std::vector<double>> sample;
+    sample.reserve(sampleIdx.size());
+    for (u32 i : sampleIdx)
+        sample.push_back(projected[i]);
+
+    KMeansResult fit =
+        kmeansBestOf(sample, k, hashCombine(cfg.seed, k),
+                     cfg.restarts, cfg.maxIters);
+    SimPointResult out = finalize(fit, projected, sample, cfg);
+    out.sweep.push_back({fit.k, bicScore(fit, sample),
+                         fit.distortion,
+                         fit.avgClusterVariance(sample)});
+    return out;
+}
+
+} // namespace splab

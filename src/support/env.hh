@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Environment-variable configuration knobs.
+ *
+ * The bench harness honours:
+ *  - SPLAB_SCALE  : multiply all workload lengths by this factor
+ *                   (default 1.0; use e.g. 0.1 for a quick smoke run)
+ *  - SPLAB_CACHE  : directory for the on-disk artifact cache
+ *                   (default "splab_cache" under the CWD; empty
+ *                   string disables caching)
+ */
+
+#ifndef SPLAB_SUPPORT_ENV_HH
+#define SPLAB_SUPPORT_ENV_HH
+
+#include <string>
+
+namespace splab
+{
+
+/** Read a double from the environment, falling back to @p fallback. */
+double envDouble(const char *name, double fallback);
+
+/** Read an integer from the environment. */
+long envLong(const char *name, long fallback);
+
+/** Read a string from the environment. */
+std::string envString(const char *name, const std::string &fallback);
+
+/** Global workload scale factor (SPLAB_SCALE). */
+double workloadScale();
+
+/** Artifact cache directory (SPLAB_CACHE); empty = disabled. */
+std::string artifactCacheDir();
+
+} // namespace splab
+
+#endif // SPLAB_SUPPORT_ENV_HH

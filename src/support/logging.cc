@@ -1,0 +1,76 @@
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace splab
+{
+
+namespace
+{
+
+LogLevel globalLevel = [] {
+    if (const char *env = std::getenv("SPLAB_LOG")) {
+        switch (env[0]) {
+          case '0': case 'q': case 'Q': return LogLevel::Quiet;
+          case '2': case 'v': case 'V': return LogLevel::Verbose;
+          default: break;
+        }
+    }
+    return LogLevel::Normal;
+}();
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (globalLevel >= LogLevel::Normal)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+verboseImpl(const std::string &msg)
+{
+    if (globalLevel >= LogLevel::Verbose)
+        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace splab

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 idiom.
+ *
+ * panic()  - an internal invariant was violated (a simpoint-lab bug);
+ *            aborts so a debugger/core dump can inspect the state.
+ * fatal()  - the user asked for something impossible (bad config,
+ *            bad file); exits with status 1.
+ * warn()   - something is probably fine but worth telling the user.
+ * inform() - plain status output.
+ */
+
+#ifndef SPLAB_SUPPORT_LOGGING_HH
+#define SPLAB_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace splab
+{
+
+/** Verbosity levels for runtime status output. */
+enum class LogLevel
+{
+    Quiet = 0,  ///< only warnings and errors
+    Normal = 1, ///< inform() visible
+    Verbose = 2 ///< debug chatter visible
+};
+
+/** Set the global verbosity (default: Normal, or $SPLAB_LOG). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void verboseImpl(const std::string &msg);
+
+/** Fold a mixed argument pack into one string via ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort on an internal invariant violation. */
+#define SPLAB_PANIC(...) \
+    ::splab::detail::panicImpl(__FILE__, __LINE__, \
+                               ::splab::detail::concat(__VA_ARGS__))
+
+/** Exit(1) on an unrecoverable user error. */
+#define SPLAB_FATAL(...) \
+    ::splab::detail::fatalImpl(__FILE__, __LINE__, \
+                               ::splab::detail::concat(__VA_ARGS__))
+
+/** Non-fatal warning to stderr. */
+#define SPLAB_WARN(...) \
+    ::splab::detail::warnImpl(::splab::detail::concat(__VA_ARGS__))
+
+/** Status message to stderr (suppressed when Quiet). */
+#define SPLAB_INFORM(...) \
+    ::splab::detail::informImpl(::splab::detail::concat(__VA_ARGS__))
+
+/** Debug chatter (visible only when Verbose). */
+#define SPLAB_VERBOSE(...) \
+    ::splab::detail::verboseImpl(::splab::detail::concat(__VA_ARGS__))
+
+/** Panic unless a condition holds; cheap enough to keep in release. */
+#define SPLAB_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            SPLAB_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+} // namespace splab
+
+#endif // SPLAB_SUPPORT_LOGGING_HH

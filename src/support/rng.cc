@@ -1,0 +1,34 @@
+#include "rng.hh"
+
+namespace splab
+{
+
+u64
+hashBytes(const void *data, std::size_t len)
+{
+    const u8 *p = static_cast<const u8 *>(data);
+    u64 h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    // Final avalanche so short strings spread across the word.
+    return mix64(h);
+}
+
+std::size_t
+sampleCdf(const double *cdf, std::size_t n, double u)
+{
+    // Binary search for the first entry >= u.
+    std::size_t lo = 0, hi = n;
+    while (lo < hi) {
+        std::size_t mid = (lo + hi) / 2;
+        if (cdf[mid] < u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo < n ? lo : n - 1;
+}
+
+} // namespace splab

@@ -1,0 +1,182 @@
+#include "table.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "logging.hh"
+
+namespace splab
+{
+
+void
+TableWriter::header(std::vector<std::string> cols)
+{
+    SPLAB_ASSERT(rows.empty(), "header must precede rows");
+    head = std::move(cols);
+}
+
+void
+TableWriter::row(std::vector<std::string> cells)
+{
+    SPLAB_ASSERT(!head.empty(), "define a header first");
+    SPLAB_ASSERT(cells.size() == head.size(),
+                 "row width ", cells.size(), " != header width ",
+                 head.size());
+    rows.push_back(std::move(cells));
+}
+
+void
+TableWriter::separator()
+{
+    rows.emplace_back(); // sentinel
+}
+
+std::string
+TableWriter::render() const
+{
+    std::vector<std::size_t> width(head.size());
+    for (std::size_t c = 0; c < head.size(); ++c)
+        width[c] = head[c].size();
+    for (const auto &r : rows)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            if (r[c].size() > width[c])
+                width[c] = r[c].size();
+
+    auto hline = [&] {
+        std::string s = "+";
+        for (auto w : width)
+            s += std::string(w + 2, '-') + "+";
+        s += "\n";
+        return s;
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        std::string s = "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            s += " " + cells[c] +
+                 std::string(width[c] - cells[c].size(), ' ') + " |";
+        }
+        s += "\n";
+        return s;
+    };
+
+    std::string out;
+    if (!tableTitle.empty())
+        out += "== " + tableTitle + " ==\n";
+    out += hline();
+    out += line(head);
+    out += hline();
+    for (const auto &r : rows)
+        out += r.empty() ? hline() : line(r);
+    out += hline();
+    return out;
+}
+
+void
+TableWriter::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+void
+CsvWriter::emit(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const std::string &c = cells[i];
+        bool quote = c.find_first_of(",\"\n") != std::string::npos;
+        if (i)
+            out += ',';
+        if (quote) {
+            out += '"';
+            for (char ch : c) {
+                if (ch == '"')
+                    out += '"';
+                out += ch;
+            }
+            out += '"';
+        } else {
+            out += c;
+        }
+    }
+    out += '\n';
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &cols)
+{
+    emit(cols);
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    emit(cells);
+}
+
+bool
+CsvWriter::save(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    ok = std::fclose(f) == 0 && ok;
+    return ok;
+}
+
+std::string
+fmt(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+fmtPct(double fraction, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+    return buf;
+}
+
+std::string
+fmtCount(unsigned long long v)
+{
+    std::string raw = std::to_string(v);
+    std::string out;
+    int lead = static_cast<int>(raw.size()) % 3;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (i && static_cast<int>(i) % 3 == lead % 3 &&
+            (lead || i % 3 == 0))
+            out += ',';
+        out += raw[i];
+    }
+    return out;
+}
+
+std::string
+fmtSi(double v, int digits)
+{
+    static const char *suffix[] = {"", " K", " M", " B", " T"};
+    int s = 0;
+    double a = v < 0 ? -v : v;
+    while (a >= 1000.0 && s < 4) {
+        a /= 1000.0;
+        v /= 1000.0;
+        ++s;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%s", digits, v, suffix[s]);
+    return buf;
+}
+
+std::string
+fmtX(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", digits, v);
+    return buf;
+}
+
+} // namespace splab

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental integer typedefs shared across the library.
+ */
+
+#ifndef SPLAB_SUPPORT_TYPES_HH
+#define SPLAB_SUPPORT_TYPES_HH
+
+#include <cstdint>
+
+namespace splab
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Byte address in the simulated address space. */
+using Addr = u64;
+
+/** Count of dynamic instructions. */
+using ICount = u64;
+
+/** Count of simulated cycles. */
+using Cycles = u64;
+
+/** Index of a fixed-size execution slice within a run. */
+using SliceIndex = u64;
+
+/** Identifier of a static basic block. */
+using BlockId = u32;
+
+} // namespace splab
+
+#endif // SPLAB_SUPPORT_TYPES_HH

@@ -1,0 +1,71 @@
+#include "machine_config.hh"
+
+#include "support/rng.hh"
+#include "support/serialize.hh"
+#include "support/table.hh"
+
+namespace splab
+{
+
+u64
+MachineConfig::contentHash() const
+{
+    ByteWriter w;
+    w.putString(model);
+    w.put<double>(frequencyGHz);
+    w.put<u32>(dispatchWidth);
+    w.put<u32>(robEntries);
+    w.put<u32>(branchMispredictPenalty);
+    w.put<u32>(l1LatencyCycles);
+    w.put<u32>(l2LatencyCycles);
+    w.put<u32>(l3LatencyCycles);
+    w.put<u32>(memLatencyCycles);
+    w.put<u32>(predictorHistoryBits);
+    for (const CacheParams *p :
+         {&caches.l1i, &caches.l1d, &caches.l2, &caches.l3}) {
+        w.put<u64>(p->sizeBytes);
+        w.put<u32>(p->ways);
+        w.put<u32>(p->lineBytes);
+    }
+    return hashBytes(w.bytes().data(), w.bytes().size());
+}
+
+MachineConfig
+tableIIIMachine()
+{
+    MachineConfig cfg;
+    cfg.caches = tableIIIConfig();
+    return cfg;
+}
+
+std::string
+describeMachine(const MachineConfig &cfg)
+{
+    TableWriter t("System Configuration (Table III)");
+    t.header({"Parameter", "Value"});
+    t.row({"Model", cfg.model});
+    t.row({"CPU Frequency", fmt(cfg.frequencyGHz, 1) + " GHz"});
+    t.row({"Dispatch width",
+           std::to_string(cfg.dispatchWidth) + " uops per cycle"});
+    t.row({"Reorder buffer",
+           std::to_string(cfg.robEntries) + " entries"});
+    t.row({"Branch misprediction penalty",
+           std::to_string(cfg.branchMispredictPenalty) + " cycles"});
+    auto cacheRow = [&](const char *label, const CacheParams &p,
+                        u32 lat) {
+        t.row({label, fmtSi(static_cast<double>(p.sizeBytes), 0) +
+                          "B, " + std::to_string(p.ways) + "-way & " +
+                          std::to_string(lat) + " cycles"});
+    };
+    cacheRow("L1-I cache & latency", cfg.caches.l1i,
+             cfg.l1LatencyCycles);
+    cacheRow("L1-D cache & latency", cfg.caches.l1d,
+             cfg.l1LatencyCycles);
+    cacheRow("L2 cache & latency", cfg.caches.l2, cfg.l2LatencyCycles);
+    cacheRow("L3 cache & latency", cfg.caches.l3, cfg.l3LatencyCycles);
+    t.row({"Cache line size",
+           std::to_string(cfg.caches.l1d.lineBytes) + " Bytes"});
+    return t.render();
+}
+
+} // namespace splab

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Machine configuration for the timing model (the paper's Table III:
+ * an Intel i7-3770 modelled in Sniper).
+ */
+
+#ifndef SPLAB_TIMING_MACHINE_CONFIG_HH
+#define SPLAB_TIMING_MACHINE_CONFIG_HH
+
+#include <string>
+
+#include "cache/hierarchy.hh"
+
+namespace splab
+{
+
+/** Core + memory parameters of the simulated machine. */
+struct MachineConfig
+{
+    std::string model = "8-core Intel i7-3770 (modelled)";
+    double frequencyGHz = 3.4;
+
+    /// @name Core (Table III)
+    /// @{
+    u32 dispatchWidth = 4;          ///< fused uops committed / cycle
+    u32 robEntries = 168;
+    u32 branchMispredictPenalty = 8;
+    /// @}
+
+    /// @name Memory (Table III latencies)
+    /// @{
+    u32 l1LatencyCycles = 4;
+    u32 l2LatencyCycles = 10;
+    u32 l3LatencyCycles = 30;
+    u32 memLatencyCycles = 190;
+    /// @}
+
+    /// @name Branch predictor
+    /// @{
+    u32 predictorHistoryBits = 14; ///< gshare global history length
+    /// @}
+
+    HierarchyConfig caches;
+
+    u64 contentHash() const;
+};
+
+/** The configuration of Table III. */
+MachineConfig tableIIIMachine();
+
+/** Render the configuration as a paper-style two-column table. */
+std::string describeMachine(const MachineConfig &cfg);
+
+} // namespace splab
+
+#endif // SPLAB_TIMING_MACHINE_CONFIG_HH

@@ -1,0 +1,104 @@
+#include "benchmark_spec.hh"
+
+#include "support/logging.hh"
+#include "support/serialize.hh"
+
+namespace splab
+{
+
+void
+BenchmarkSpec::serialize(ByteWriter &w) const
+{
+    w.putString(name);
+    w.put<u64>(seed);
+    w.put<u64>(totalChunks);
+    w.put<u64>(chunkLen);
+    w.put<u8>(static_cast<u8>(schedule));
+    w.put<u64>(dwellChunks);
+    w.put<u64>(phases.size());
+    for (const auto &p : phases) {
+        w.putString(p.name);
+        w.put<double>(p.weight);
+        w.put<double>(p.mix.noMem);
+        w.put<double>(p.mix.memR);
+        w.put<double>(p.mix.memW);
+        w.put<double>(p.mix.memRW);
+        w.put<double>(p.mix.branch);
+        w.put<u32>(p.numBlocks);
+        w.put<u32>(p.avgBlockLen);
+        w.put<double>(p.fpFraction);
+        w.put<double>(p.dataDepBranchFraction);
+        w.put<u8>(static_cast<u8>(p.kernel));
+        w.put<u64>(p.workingSetBytes);
+        w.put<double>(p.localFraction);
+        w.put<u32>(p.stride);
+        w.put<double>(p.hotFraction);
+        w.put<double>(p.hotProbability);
+        w.put<u32>(p.tileBytes);
+        w.put<double>(p.blockNoise);
+        w.put<double>(p.drift);
+    }
+}
+
+BenchmarkSpec
+BenchmarkSpec::deserialize(ByteReader &r)
+{
+    BenchmarkSpec s;
+    s.name = r.getString();
+    s.seed = r.get<u64>();
+    s.totalChunks = r.get<u64>();
+    s.chunkLen = r.get<u64>();
+    s.schedule = static_cast<ScheduleKind>(r.get<u8>());
+    s.dwellChunks = r.get<u64>();
+    u64 n = r.get<u64>();
+    s.phases.resize(n);
+    for (auto &p : s.phases) {
+        p.name = r.getString();
+        p.weight = r.get<double>();
+        p.mix.noMem = r.get<double>();
+        p.mix.memR = r.get<double>();
+        p.mix.memW = r.get<double>();
+        p.mix.memRW = r.get<double>();
+        p.mix.branch = r.get<double>();
+        p.numBlocks = r.get<u32>();
+        p.avgBlockLen = r.get<u32>();
+        p.fpFraction = r.get<double>();
+        p.dataDepBranchFraction = r.get<double>();
+        p.kernel = static_cast<KernelKind>(r.get<u8>());
+        p.workingSetBytes = r.get<u64>();
+        p.localFraction = r.get<double>();
+        p.stride = r.get<u32>();
+        p.hotFraction = r.get<double>();
+        p.hotProbability = r.get<double>();
+        p.tileBytes = r.get<u32>();
+        p.blockNoise = r.get<double>();
+        p.drift = r.get<double>();
+    }
+    s.validate();
+    return s;
+}
+
+u64
+BenchmarkSpec::contentHash() const
+{
+    ByteWriter w;
+    serialize(w);
+    return hashBytes(w.bytes().data(), w.bytes().size());
+}
+
+void
+BenchmarkSpec::validate() const
+{
+    SPLAB_ASSERT(!phases.empty(), name, ": benchmark needs phases");
+    SPLAB_ASSERT(totalChunks > 0, name, ": empty run");
+    SPLAB_ASSERT(chunkLen >= 256 && chunkLen <= 65536,
+                 name, ": chunkLen out of range: ", chunkLen);
+    double s = 0.0;
+    for (const auto &p : phases) {
+        SPLAB_ASSERT(p.weight >= 0.0, name, ": negative weight");
+        s += p.weight;
+    }
+    SPLAB_ASSERT(s > 0.0, name, ": zero total phase weight");
+}
+
+} // namespace splab

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Top-level description of one synthetic benchmark.
+ */
+
+#ifndef SPLAB_WORKLOAD_BENCHMARK_SPEC_HH
+#define SPLAB_WORKLOAD_BENCHMARK_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "phase.hh"
+#include "schedule.hh"
+
+namespace splab
+{
+
+/**
+ * A benchmark is a set of phases plus a schedule over a fixed number
+ * of execution chunks.  One chunk is the atomic unit of deterministic
+ * replay (default 1,000 instructions); profiling slice sizes must be
+ * whole multiples of the chunk length.
+ */
+struct BenchmarkSpec
+{
+    std::string name = "benchmark";
+    u64 seed = 1;
+
+    /** Run length in chunks; total instructions = chunks * chunkLen. */
+    u64 totalChunks = 10000;
+    /** Instructions per chunk (exact; blocks are truncated to fit). */
+    ICount chunkLen = 1000;
+
+    std::vector<PhaseSpec> phases;
+    ScheduleKind schedule = ScheduleKind::Markov;
+    /** Mean chunks per schedule segment (Interleaved/Markov). */
+    u64 dwellChunks = 120;
+
+    /** Total dynamic instructions. */
+    ICount totalInstrs() const { return totalChunks * chunkLen; }
+
+    /**
+     * Stable content hash over every field that affects execution;
+     * used as the artifact-cache key.
+     */
+    u64 contentHash() const;
+
+    /** Panic on an inconsistent specification. */
+    void validate() const;
+
+    /** Append a complete encoding to @p w (pinball payload). */
+    void serialize(class ByteWriter &w) const;
+
+    /** Decode a spec previously written by serialize(). */
+    static BenchmarkSpec deserialize(class ByteReader &r);
+};
+
+} // namespace splab
+
+#endif // SPLAB_WORKLOAD_BENCHMARK_SPEC_HH

@@ -1,0 +1,204 @@
+#include "schedule.hh"
+
+#include <array>
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace splab
+{
+
+const std::string &
+scheduleKindName(ScheduleKind k)
+{
+    static const std::array<std::string, 3> names = {
+        "contiguous", "interleaved", "markov"};
+    return names[static_cast<u8>(k)];
+}
+
+PhaseSchedule::PhaseSchedule(ScheduleKind kind,
+                             const std::vector<double> &weights,
+                             u64 totalChunks, u64 dwellChunks, u64 seed,
+                             const std::vector<double> &dwellScale)
+    : total(totalChunks)
+{
+    SPLAB_ASSERT(dwellScale.empty() ||
+                     dwellScale.size() == weights.size(),
+                 "dwellScale size mismatch");
+    SPLAB_ASSERT(!weights.empty(), "schedule needs >= 1 phase");
+    SPLAB_ASSERT(totalChunks > 0, "schedule needs >= 1 chunk");
+
+    std::vector<double> w = weights;
+    double s = 0.0;
+    for (double x : w) {
+        SPLAB_ASSERT(x >= 0.0, "negative phase weight");
+        s += x;
+    }
+    SPLAB_ASSERT(s > 0.0, "all phase weights are zero");
+    for (double &x : w)
+        x /= s;
+
+    if (dwellChunks == 0)
+        dwellChunks = 64;
+
+    switch (kind) {
+      case ScheduleKind::Contiguous:
+        buildContiguous(w);
+        break;
+      case ScheduleKind::Interleaved:
+        buildInterleaved(w, dwellChunks);
+        break;
+      case ScheduleKind::Markov:
+        buildMarkov(w, dwellChunks, seed, dwellScale);
+        break;
+    }
+    SPLAB_ASSERT(!segs.empty() && segs.front().firstChunk == 0,
+                 "schedule must cover chunk 0");
+}
+
+void
+PhaseSchedule::buildContiguous(const std::vector<double> &w)
+{
+    u64 cursor = 0;
+    double carried = 0.0;
+    for (u32 p = 0; p < w.size(); ++p) {
+        double want = w[p] * static_cast<double>(total) + carried;
+        u64 len = static_cast<u64>(want + 0.5);
+        carried = want - static_cast<double>(len);
+        if (p + 1 == w.size())
+            len = total - cursor; // absorb rounding in the last phase
+        if (len == 0)
+            continue;
+        segs.push_back({cursor, p});
+        cursor += len;
+        if (cursor >= total)
+            break;
+    }
+    if (segs.empty())
+        segs.push_back({0, 0});
+}
+
+void
+PhaseSchedule::buildInterleaved(const std::vector<double> &w, u64 dwell)
+{
+    // One rotation gives every nonzero phase at least one segment of
+    // roughly weight-proportional length.
+    u64 period = 0;
+    std::vector<u64> lens(w.size());
+    for (std::size_t p = 0; p < w.size(); ++p) {
+        lens[p] = w[p] <= 0.0
+                      ? 0
+                      : static_cast<u64>(
+                            w[p] * static_cast<double>(dwell) *
+                                static_cast<double>(w.size()) +
+                            0.5);
+        if (w[p] > 0.0 && lens[p] == 0)
+            lens[p] = 1;
+        period += lens[p];
+    }
+    SPLAB_ASSERT(period > 0, "interleaved schedule has empty period");
+
+    u64 cursor = 0;
+    while (cursor < total) {
+        for (u32 p = 0; p < w.size() && cursor < total; ++p) {
+            if (lens[p] == 0)
+                continue;
+            segs.push_back({cursor, p});
+            cursor += lens[p];
+        }
+    }
+}
+
+void
+PhaseSchedule::buildMarkov(const std::vector<double> &w, u64 dwell,
+                           u64 seed,
+                           const std::vector<double> &dwellScale)
+{
+    Rng rng(seed, 0x5cedULL);
+
+    // Per-phase mean segment lengths; a phase's *run share* must
+    // stay w[p], so selection frequency is w[p] / length[p].
+    std::vector<double> segLen(w.size());
+    std::vector<double> sel(w.size());
+    double selSum = 0.0;
+    for (std::size_t p = 0; p < w.size(); ++p) {
+        double scale =
+            dwellScale.empty() ? 1.0 : dwellScale[p];
+        SPLAB_ASSERT(scale > 0.0, "dwellScale must be positive");
+        segLen[p] = static_cast<double>(dwell) * scale;
+        sel[p] = w[p] / segLen[p];
+        selSum += sel[p];
+    }
+    for (auto &s : sel)
+        s /= selSum;
+
+    // Stratified weighted selection: per-segment credits accumulate
+    // by selection frequency and the richest phase (with a random
+    // perturbation) runs next.  Every phase is guaranteed a
+    // near-proportional number of segments — i.i.d. sampling would
+    // starve sub-percent phases on realistic run lengths — while
+    // random dwell lengths and perturbed ordering keep the sequence
+    // irregular.
+    std::vector<double> credit(w.size());
+    for (auto &c : credit)
+        c = rng.uniform() * 0.25;
+
+    u64 cursor = 0;
+    while (cursor < total) {
+        std::size_t best = 0;
+        double bestCredit = -1e300;
+        for (std::size_t p = 0; p < w.size(); ++p) {
+            credit[p] += sel[p];
+            double perturbed =
+                credit[p] + 0.35 * sel[p] * rng.gaussian();
+            if (perturbed > bestCredit) {
+                bestCredit = perturbed;
+                best = p;
+            }
+        }
+        credit[best] -= 1.0;
+        u64 len = rng.burst(segLen[best],
+                            static_cast<u64>(segLen[best]) * 8 + 8);
+        segs.push_back({cursor, static_cast<u32>(best)});
+        cursor += len;
+    }
+}
+
+u32
+PhaseSchedule::phaseOf(u64 chunk) const
+{
+    SPLAB_ASSERT(chunk < total, "chunk ", chunk, " beyond schedule");
+    // Binary search for the last segment starting at or before chunk.
+    std::size_t lo = 0, hi = segs.size();
+    while (lo + 1 < hi) {
+        std::size_t mid = (lo + hi) / 2;
+        if (segs[mid].firstChunk <= chunk)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return segs[lo].phase;
+}
+
+std::vector<double>
+PhaseSchedule::realizedWeights() const
+{
+    u32 maxPhase = 0;
+    for (const auto &s : segs)
+        maxPhase = s.phase > maxPhase ? s.phase : maxPhase;
+    std::vector<double> w(maxPhase + 1, 0.0);
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+        u64 end = i + 1 < segs.size() ? segs[i + 1].firstChunk : total;
+        if (end > total)
+            end = total;
+        if (end > segs[i].firstChunk)
+            w[segs[i].phase] +=
+                static_cast<double>(end - segs[i].firstChunk);
+    }
+    for (double &x : w)
+        x /= static_cast<double>(total);
+    return w;
+}
+
+} // namespace splab

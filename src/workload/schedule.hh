@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Phase schedules: which phase is live at each execution chunk.
+ *
+ * The schedule determines the large-scale temporal structure of a
+ * benchmark: whether phases run once each (program stages), recur
+ * periodically (outer loops) or alternate irregularly (input-driven
+ * behaviour).  SimPoint is agnostic to this structure, but it shapes
+ * how many slices land in each cluster.
+ */
+
+#ifndef SPLAB_WORKLOAD_SCHEDULE_HH
+#define SPLAB_WORKLOAD_SCHEDULE_HH
+
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace splab
+{
+
+/** Temporal arrangement of phases over the run. */
+enum class ScheduleKind : u8
+{
+    Contiguous = 0, ///< each phase once, in order (program stages)
+    Interleaved = 1,///< periodic rotation through the phases
+    Markov = 2      ///< random walk with geometric dwell times
+};
+
+const std::string &scheduleKindName(ScheduleKind k);
+
+/** A maximal run of chunks executing a single phase. */
+struct ScheduleSegment
+{
+    u64 firstChunk = 0;
+    u32 phase = 0;
+};
+
+/**
+ * Precomputed chunk -> phase mapping.
+ *
+ * Deterministic in (seed, kind, weights, totalChunks, dwell); lookup
+ * is O(log segments) from a cold start and O(1) when scanning
+ * forward.
+ */
+class PhaseSchedule
+{
+  public:
+    /**
+     * @param kind        temporal arrangement
+     * @param weights     per-phase share of the run (unnormalized)
+     * @param totalChunks run length in chunks
+     * @param dwellChunks mean chunks per segment (Interleaved/Markov)
+     * @param seed        determinism seed
+     * @param dwellScale  optional per-phase dwell multiplier
+     *        (Markov): phase p's segments average
+     *        dwellChunks * dwellScale[p] while its run share stays
+     *        weights[p] — dominant phases run in long kernels, tiny
+     *        phases in short bursts.  Empty = all 1.0.
+     */
+    PhaseSchedule(ScheduleKind kind, const std::vector<double> &weights,
+                  u64 totalChunks, u64 dwellChunks, u64 seed,
+                  const std::vector<double> &dwellScale = {});
+
+    /** Phase live at @p chunk. */
+    u32 phaseOf(u64 chunk) const;
+
+    const std::vector<ScheduleSegment> &segments() const
+    {
+        return segs;
+    }
+
+    u64 totalChunks() const { return total; }
+
+    /** Realized fraction of chunks spent in each phase. */
+    std::vector<double> realizedWeights() const;
+
+  private:
+    void buildContiguous(const std::vector<double> &w);
+    void buildInterleaved(const std::vector<double> &w, u64 dwell);
+    void buildMarkov(const std::vector<double> &w, u64 dwell, u64 seed,
+                     const std::vector<double> &dwellScale);
+
+    std::vector<ScheduleSegment> segs;
+    u64 total;
+};
+
+} // namespace splab
+
+#endif // SPLAB_WORKLOAD_SCHEDULE_HH

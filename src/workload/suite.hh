@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Synthetic models of the 29 SPEC CPU2017 benchmarks studied in the
+ * paper (Table II).
+ *
+ * SPEC CPU2017 is proprietary, so each benchmark is modelled as a
+ * synthetic phase-structured program whose *observable structure*
+ * matches what the paper reports: the number of phases, the phase
+ * weight profile (how many phases cover 90% of execution), the
+ * instruction mix regime (INT vs FP) and the memory-access character
+ * of the domain.  Everything else (exact kernels, working sets) is
+ * generated deterministically from the benchmark name.
+ */
+
+#ifndef SPLAB_WORKLOAD_SUITE_HH
+#define SPLAB_WORKLOAD_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "benchmark_spec.hh"
+
+namespace splab
+{
+
+/** Sub-suite a benchmark belongs to. */
+enum class SuiteDomain : u8
+{
+    IntRate = 0,
+    IntSpeed = 1,
+    FpRate = 2,
+};
+
+const std::string &suiteDomainName(SuiteDomain d);
+
+/** One row of the paper's Table II plus sizing metadata. */
+struct SuiteEntry
+{
+    const char *name;      ///< e.g. "623.xalancbmk_s"
+    int simPoints;         ///< Table II: number of simulation points
+    int points90;          ///< Table II: 90th-percentile points
+    u64 slices;            ///< whole-run length in default slices
+    SuiteDomain domain;
+    double paperInstrsB;   ///< paper-scale dynamic instrs (billions)
+};
+
+/** The 29 benchmarks of Table II, in the paper's order. */
+const std::vector<SuiteEntry> &suiteTable();
+
+/** Look up a table entry; fatal() if unknown. */
+const SuiteEntry &suiteEntry(const std::string &name);
+
+/**
+ * Build the executable spec for one benchmark.  Honors the global
+ * SPLAB_SCALE factor (lengths scale, structure does not).
+ */
+BenchmarkSpec makeBenchmark(const SuiteEntry &entry);
+
+/** Convenience: makeBenchmark(suiteEntry(name)). */
+BenchmarkSpec benchmarkByName(const std::string &name);
+
+/** Specs for the whole suite, in Table II order. */
+std::vector<BenchmarkSpec> spec2017Suite();
+
+/**
+ * Design a phase-weight vector with @p n phases such that exactly
+ * @p m90 phases (by descending weight) are needed to reach 90% of
+ * the total weight.  Weights follow a geometric decay whose ratio is
+ * solved numerically; all weights are floored at @p floor so every
+ * phase occupies a visible share of the schedule.
+ */
+std::vector<double> designWeights(int n, int m90, double floor = 0.01);
+
+/**
+ * Number of leading weights (sorted descending) needed to reach
+ * @p quantile of the total mass.
+ */
+int coverageCount(std::vector<double> weights, double quantile);
+
+} // namespace splab
+
+#endif // SPLAB_WORKLOAD_SUITE_HH

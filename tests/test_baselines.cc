@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the behaviour-oblivious sampling baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simpoint/baselines.hh"
+
+namespace splab
+{
+namespace
+{
+
+TEST(Systematic, EvenSpacingAndEqualWeights)
+{
+    SimPointResult r = systematicSample(1000, 10000, 10);
+    ASSERT_EQ(r.points.size(), 10u);
+    EXPECT_NEAR(r.totalWeight(), 1.0, 1e-12);
+    // SMARTS-style offset: first sample at stride/2.
+    EXPECT_EQ(r.points[0].slice, 50u);
+    for (std::size_t i = 1; i < r.points.size(); ++i)
+        EXPECT_EQ(r.points[i].slice - r.points[i - 1].slice, 100u);
+    for (const auto &p : r.points)
+        EXPECT_DOUBLE_EQ(p.weight, 0.1);
+}
+
+TEST(Systematic, ClampsToRunLength)
+{
+    SimPointResult r = systematicSample(5, 10000, 10);
+    EXPECT_EQ(r.points.size(), 5u);
+    for (const auto &p : r.points)
+        EXPECT_LT(p.slice, 5u);
+}
+
+TEST(Systematic, SingleSampleLandsMidRun)
+{
+    SimPointResult r = systematicSample(1000, 10000, 1);
+    ASSERT_EQ(r.points.size(), 1u);
+    EXPECT_EQ(r.points[0].slice, 500u);
+    EXPECT_DOUBLE_EQ(r.points[0].weight, 1.0);
+}
+
+TEST(Random, UniqueInRangeAndDeterministic)
+{
+    SimPointResult a = randomSample(1000, 10000, 25, 7);
+    SimPointResult b = randomSample(1000, 10000, 25, 7);
+    ASSERT_EQ(a.points.size(), 25u);
+    std::set<SliceIndex> seen;
+    for (const auto &p : a.points) {
+        EXPECT_LT(p.slice, 1000u);
+        seen.insert(p.slice);
+    }
+    EXPECT_EQ(seen.size(), 25u); // without replacement
+    for (std::size_t i = 0; i < a.points.size(); ++i)
+        EXPECT_EQ(a.points[i].slice, b.points[i].slice);
+    EXPECT_NEAR(a.totalWeight(), 1.0, 1e-12);
+}
+
+TEST(Random, SeedChangesSelection)
+{
+    SimPointResult a = randomSample(1000, 10000, 25, 7);
+    SimPointResult b = randomSample(1000, 10000, 25, 8);
+    int same = 0;
+    for (std::size_t i = 0; i < a.points.size(); ++i)
+        same += a.points[i].slice == b.points[i].slice;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Random, FullCoverageWhenBudgetEqualsRun)
+{
+    SimPointResult r = randomSample(20, 10000, 20, 3);
+    EXPECT_EQ(r.points.size(), 20u);
+    std::set<SliceIndex> seen;
+    for (const auto &p : r.points)
+        seen.insert(p.slice);
+    EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(Baselines, PointsSortedBySlice)
+{
+    for (const SimPointResult &r :
+         {systematicSample(500, 10000, 7),
+          randomSample(500, 10000, 7, 42)}) {
+        for (std::size_t i = 1; i < r.points.size(); ++i)
+            EXPECT_LT(r.points[i - 1].slice, r.points[i].slice);
+    }
+}
+
+} // namespace
+} // namespace splab

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for the cache model and hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+
+namespace splab
+{
+namespace
+{
+
+CacheParams
+smallCache(u32 ways, u64 size = 4096, u32 line = 64)
+{
+    return {"test", size, ways, line};
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    SetAssocCache c(smallCache(4));
+    EXPECT_FALSE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x1008, false)); // same line
+    EXPECT_EQ(c.statsRef().accesses, 3u);
+    EXPECT_EQ(c.statsRef().misses, 1u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    // 4 KiB, 4-way, 64B lines -> 16 sets.  Lines mapping to set 0
+    // are multiples of 64*16 = 1024.
+    SetAssocCache c(smallCache(4));
+    Addr base = 0x10000;
+    for (int i = 0; i < 4; ++i)
+        c.access(base + i * 1024, false); // fill set 0
+    // Touch line 0 so line 1 becomes LRU.
+    EXPECT_TRUE(c.access(base + 0 * 1024, false));
+    // Insert a 5th line: must evict line 1.
+    EXPECT_FALSE(c.access(base + 4 * 1024, false));
+    EXPECT_TRUE(c.access(base + 0 * 1024, false));
+    EXPECT_FALSE(c.access(base + 1 * 1024, false)); // evicted
+}
+
+TEST(Cache, DirectMappedConflicts)
+{
+    SetAssocCache c(smallCache(1)); // 64 sets
+    Addr a = 0x0, b = 4096; // same index, different tag
+    EXPECT_FALSE(c.access(a, false));
+    EXPECT_FALSE(c.access(b, false)); // conflict
+    EXPECT_FALSE(c.access(a, false)); // ping-pong
+    EXPECT_EQ(c.statsRef().misses, 3u);
+}
+
+TEST(Cache, FullyAssociativeRetainsWorkingSet)
+{
+    // size = ways * line -> a single set.
+    SetAssocCache c({"fa", 64 * 8, 8, 64});
+    for (int i = 0; i < 8; ++i)
+        c.access(i * 64, false);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(c.access(i * 64, false)) << i;
+}
+
+TEST(Cache, WarmupSuppressesCounters)
+{
+    SetAssocCache c(smallCache(4));
+    c.setWarmup(true);
+    c.access(0x2000, false);
+    EXPECT_EQ(c.statsRef().accesses, 0u);
+    c.setWarmup(false);
+    // The warmed line now hits, proving state was updated.
+    EXPECT_TRUE(c.access(0x2000, false));
+    EXPECT_EQ(c.statsRef().accesses, 1u);
+    EXPECT_EQ(c.statsRef().misses, 0u);
+}
+
+TEST(Cache, FlushDropsContentsKeepsStats)
+{
+    SetAssocCache c(smallCache(4));
+    c.access(0x3000, false);
+    c.flush();
+    EXPECT_FALSE(c.access(0x3000, false));
+    EXPECT_EQ(c.statsRef().accesses, 2u);
+    EXPECT_EQ(c.statsRef().misses, 2u);
+}
+
+TEST(Cache, ReadWriteCountedSeparately)
+{
+    SetAssocCache c(smallCache(4));
+    c.access(0x100, false);
+    c.access(0x100, true);
+    c.access(0x4100, true);
+    const CacheStats &s = c.statsRef();
+    EXPECT_EQ(s.readAccesses, 1u);
+    EXPECT_EQ(s.readMisses, 1u);
+    EXPECT_EQ(s.writeAccesses, 2u);
+    EXPECT_EQ(s.writeMisses, 1u);
+}
+
+TEST(Cache, MissRateComputation)
+{
+    CacheStats s;
+    s.accesses = 200;
+    s.misses = 50;
+    EXPECT_DOUBLE_EQ(s.missRate(), 0.25);
+    EXPECT_DOUBLE_EQ(CacheStats().missRate(), 0.0);
+}
+
+TEST(Hierarchy, TableIGeometry)
+{
+    HierarchyConfig c = tableIConfig();
+    EXPECT_EQ(c.l1d.sizeBytes, 32u * 1024);
+    EXPECT_EQ(c.l1d.ways, 32u);
+    EXPECT_EQ(c.l1d.lineBytes, 32u);
+    EXPECT_EQ(c.l2.sizeBytes, 2u * 1024 * 1024);
+    EXPECT_EQ(c.l2.ways, 1u); // direct-mapped
+    EXPECT_EQ(c.l3.sizeBytes, 16u * 1024 * 1024);
+    EXPECT_EQ(c.l3.ways, 1u);
+}
+
+TEST(Hierarchy, TableIIIGeometry)
+{
+    HierarchyConfig c = tableIIIConfig();
+    EXPECT_EQ(c.l1d.ways, 8u);
+    EXPECT_EQ(c.l2.sizeBytes, 256u * 1024);
+    EXPECT_EQ(c.l3.sizeBytes, 8u * 1024 * 1024);
+    EXPECT_EQ(c.l3.ways, 16u);
+    EXPECT_EQ(c.l3.lineBytes, 64u);
+}
+
+TEST(Hierarchy, MissesPropagateDownTheLevels)
+{
+    CacheHierarchy h(tableIConfig());
+    EXPECT_EQ(h.accessData(0x5000, false), HitLevel::Memory);
+    // All levels saw the access.
+    EXPECT_EQ(h.levelStats(CacheLevel::L1D).accesses, 1u);
+    EXPECT_EQ(h.levelStats(CacheLevel::L2).accesses, 1u);
+    EXPECT_EQ(h.levelStats(CacheLevel::L3).accesses, 1u);
+    // Second touch hits in L1D and never reaches L2/L3.
+    EXPECT_EQ(h.accessData(0x5000, false), HitLevel::L1);
+    EXPECT_EQ(h.levelStats(CacheLevel::L2).accesses, 1u);
+}
+
+TEST(Hierarchy, InstrPathUsesL1I)
+{
+    CacheHierarchy h(tableIConfig());
+    h.accessInstr(0x400000);
+    EXPECT_EQ(h.levelStats(CacheLevel::L1I).accesses, 1u);
+    EXPECT_EQ(h.levelStats(CacheLevel::L1D).accesses, 0u);
+    EXPECT_EQ(h.accessInstr(0x400000), HitLevel::L1);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    CacheHierarchy h(tableIConfig());
+    // Stream far beyond L1D (32 KiB) but within L2 (2 MiB).
+    for (Addr a = 0; a < 256 * 1024; a += 32)
+        h.accessData(a, false);
+    // Address 0 was evicted from L1D but should still sit in L2.
+    EXPECT_EQ(h.accessData(0, false), HitLevel::L2);
+}
+
+TEST(Hierarchy, FlushColdRestarts)
+{
+    CacheHierarchy h(tableIConfig());
+    h.accessData(0x1234, false);
+    h.flush();
+    EXPECT_EQ(h.accessData(0x1234, false), HitLevel::Memory);
+}
+
+TEST(Hierarchy, ResetStatsZeroesCounters)
+{
+    CacheHierarchy h(tableIConfig());
+    h.accessData(0x1, false);
+    h.resetStats();
+    EXPECT_EQ(h.levelStats(CacheLevel::L1D).accesses, 0u);
+    // Contents survive.
+    EXPECT_EQ(h.accessData(0x1, false), HitLevel::L1);
+}
+
+} // namespace
+} // namespace splab

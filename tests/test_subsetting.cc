@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the benchmark-subsetting extension (hierarchical
+ * clustering of suite-level feature vectors).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/subsetting.hh"
+#include "support/rng.hh"
+
+namespace splab
+{
+namespace
+{
+
+BenchmarkFeatures
+feat(const std::string &name, std::vector<double> v)
+{
+    BenchmarkFeatures f;
+    f.name = name;
+    f.values = std::move(v);
+    return f;
+}
+
+std::vector<BenchmarkFeatures>
+twoFamilies()
+{
+    // Family A around (0,0,1); family B around (5,5,0).
+    Rng rng(3);
+    std::vector<BenchmarkFeatures> fs;
+    for (int i = 0; i < 4; ++i)
+        fs.push_back(feat("a" + std::to_string(i),
+                          {0.0 + 0.05 * rng.gaussian(),
+                           0.0 + 0.05 * rng.gaussian(), 1.0}));
+    for (int i = 0; i < 4; ++i)
+        fs.push_back(feat("b" + std::to_string(i),
+                          {5.0 + 0.05 * rng.gaussian(),
+                           5.0 + 0.05 * rng.gaussian(), 0.0}));
+    return fs;
+}
+
+TEST(Subsetting, SeparatesObviousFamilies)
+{
+    auto fs = twoFamilies();
+    SuiteSubset s = subsetSuite(fs, 2);
+    ASSERT_EQ(s.clusterCount(), 2u);
+    // All of family A in one cluster, all of family B in the other.
+    for (int i = 1; i < 4; ++i)
+        EXPECT_EQ(s.assignment[i], s.assignment[0]);
+    for (int i = 5; i < 8; ++i)
+        EXPECT_EQ(s.assignment[i], s.assignment[4]);
+    EXPECT_NE(s.assignment[0], s.assignment[4]);
+}
+
+TEST(Subsetting, RepresentativesBelongToTheirClusters)
+{
+    auto fs = twoFamilies();
+    SuiteSubset s = subsetSuite(fs, 3);
+    std::set<u32> reps(s.representatives.begin(),
+                       s.representatives.end());
+    EXPECT_EQ(reps.size(), 3u);
+    // Every cluster id is represented exactly once.
+    std::set<u32> clusters;
+    for (u32 r : s.representatives)
+        clusters.insert(s.assignment[r]);
+    EXPECT_EQ(clusters.size(), 3u);
+}
+
+TEST(Subsetting, ClusterCountClamped)
+{
+    auto fs = twoFamilies();
+    EXPECT_EQ(subsetSuite(fs, 100).clusterCount(), fs.size());
+    EXPECT_EQ(subsetSuite(fs, 0).clusterCount(), 1u);
+    EXPECT_EQ(subsetSuite(fs, 1).clusterCount(), 1u);
+}
+
+TEST(Subsetting, ErrorDecreasesWithSubsetSize)
+{
+    Rng rng(11);
+    std::vector<BenchmarkFeatures> fs;
+    for (int i = 0; i < 12; ++i)
+        fs.push_back(feat("x" + std::to_string(i),
+                          {rng.uniform(0, 10), rng.uniform(0, 10),
+                           rng.uniform(0, 10)}));
+    double prev = 1e300;
+    for (std::size_t k : {1u, 3u, 6u, 12u}) {
+        SuiteSubset s = subsetSuite(fs, k);
+        double err = subsetRepresentationError(fs, s);
+        EXPECT_LE(err, prev + 1e-9) << "k=" << k;
+        prev = err;
+    }
+    // Full subset represents perfectly.
+    SuiteSubset full = subsetSuite(fs, 12);
+    EXPECT_NEAR(subsetRepresentationError(fs, full), 0.0, 1e-12);
+}
+
+TEST(Subsetting, ConstantFeatureColumnIsHarmless)
+{
+    // A feature that never varies must not produce NaNs.
+    std::vector<BenchmarkFeatures> fs = {
+        feat("a", {1.0, 7.0}), feat("b", {2.0, 7.0}),
+        feat("c", {9.0, 7.0})};
+    SuiteSubset s = subsetSuite(fs, 2);
+    EXPECT_EQ(s.clusterCount(), 2u);
+    double err = subsetRepresentationError(fs, s);
+    EXPECT_TRUE(std::isfinite(err));
+}
+
+TEST(Subsetting, MakeFeaturesPullsTheRightNumbers)
+{
+    CacheRunMetrics cache;
+    cache.mixFrac = {0.5, 0.3, 0.15, 0.05};
+    cache.l1d = {100, 10};
+    cache.l2 = {10, 5};
+    cache.l3 = {5, 4};
+    TimingRunMetrics timing;
+    timing.instrs = 1000;
+    timing.cycles = 1500;
+    timing.branches = 100;
+    timing.mispredicts = 7;
+    BenchmarkFeatures f = makeFeatures("t", cache, timing);
+    ASSERT_EQ(f.values.size(), 9u);
+    EXPECT_DOUBLE_EQ(f.values[0], 0.5);
+    EXPECT_DOUBLE_EQ(f.values[4], 0.1);  // L1D miss
+    EXPECT_DOUBLE_EQ(f.values[6], 0.8);  // L3 miss
+    EXPECT_DOUBLE_EQ(f.values[7], 1.5);  // CPI
+    EXPECT_DOUBLE_EQ(f.values[8], 0.07); // mispredict rate
+}
+
+} // namespace
+} // namespace splab

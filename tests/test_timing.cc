@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Unit tests for the branch predictor and interval timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pin/engine.hh"
+#include "support/rng.hh"
+#include "timing/interval_core.hh"
+
+namespace splab
+{
+namespace
+{
+
+TEST(Gshare, LearnsABiasedBranch)
+{
+    GsharePredictor p(12);
+    Addr pc = 0x400100;
+    // Always-taken branch: once the global history register fills
+    // with taken outcomes, the indexed counter saturates and
+    // predictions are correct.
+    for (int i = 0; i < 50; ++i)
+        p.update(pc, true);
+    p.resetStats();
+    for (int i = 0; i < 100; ++i)
+        p.update(pc, true);
+    EXPECT_EQ(p.mispredicts(), 0u);
+    EXPECT_EQ(p.lookups(), 100u);
+}
+
+TEST(Gshare, LearnsAlternatingPatternViaHistory)
+{
+    GsharePredictor p(12);
+    Addr pc = 0x400200;
+    for (int i = 0; i < 64; ++i)
+        p.update(pc, i % 2 == 0);
+    p.resetStats();
+    for (int i = 64; i < 164; ++i)
+        p.update(pc, i % 2 == 0);
+    // Global history disambiguates the alternation almost perfectly.
+    EXPECT_LT(p.mispredicts(), 5u);
+}
+
+TEST(Gshare, RandomBranchMispredictsHalfTheTime)
+{
+    GsharePredictor p(12);
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i)
+        p.update(0x400300, rng.chance(0.5));
+    p.resetStats();
+    for (int i = 0; i < 2000; ++i)
+        p.update(0x400300, rng.chance(0.5));
+    double rate = static_cast<double>(p.mispredicts()) /
+                  static_cast<double>(p.lookups());
+    EXPECT_GT(rate, 0.35);
+    EXPECT_LT(rate, 0.65);
+}
+
+TEST(Gshare, ResetForgets)
+{
+    GsharePredictor p(10);
+    for (int i = 0; i < 50; ++i)
+        p.update(0x400400, true);
+    p.reset();
+    // Cold counters are weakly not-taken.
+    EXPECT_FALSE(p.predict(0x400400));
+}
+
+TEST(Gshare, WarmupFreezesCounters)
+{
+    GsharePredictor p(10);
+    p.setWarmup(true);
+    for (int i = 0; i < 50; ++i)
+        p.update(0x400500, true);
+    EXPECT_EQ(p.lookups(), 0u);
+    p.setWarmup(false);
+    p.update(0x400500, true);
+    EXPECT_EQ(p.lookups(), 1u);
+    EXPECT_EQ(p.mispredicts(), 0u); // trained during warm-up
+}
+
+TEST(Tournament, BimodalLearnsBiasWithoutUsableHistory)
+{
+    // Interleave many branches so the global history at any one
+    // branch is effectively noise; the bimodal side must still
+    // capture per-branch bias almost immediately.
+    TournamentPredictor p(14);
+    Rng rng(3);
+    std::vector<Addr> pcs;
+    for (int b = 0; b < 32; ++b)
+        pcs.push_back(0x400000 + b * 24);
+    // Block b is taken-biased iff b is even; directions are run
+    // structured (runs of 16, one break).
+    auto outcome = [&](int b, int n) {
+        bool majority = b % 2 == 0;
+        return n % 16 == 15 ? !majority : majority;
+    };
+    std::vector<int> execs(32, 0);
+    for (int i = 0; i < 4000; ++i) {
+        int b = static_cast<int>(rng.below(32));
+        p.update(pcs[b], outcome(b, execs[b]++));
+    }
+    p.resetStats();
+    for (int i = 0; i < 20000; ++i) {
+        int b = static_cast<int>(rng.below(32));
+        p.update(pcs[b], outcome(b, execs[b]++));
+    }
+    double rate = static_cast<double>(p.mispredicts()) /
+                  static_cast<double>(p.lookups());
+    // Far better than chance; at worst ~2 breaks per 16-run.
+    EXPECT_LT(rate, 0.22);
+}
+
+TEST(Tournament, LearnsAlternationThroughGshareSide)
+{
+    TournamentPredictor p(12);
+    for (int i = 0; i < 200; ++i)
+        p.update(0x400700, i % 2 == 0);
+    p.resetStats();
+    for (int i = 200; i < 400; ++i)
+        p.update(0x400700, i % 2 == 0);
+    double rate = static_cast<double>(p.mispredicts()) /
+                  static_cast<double>(p.lookups());
+    EXPECT_LT(rate, 0.10);
+}
+
+TEST(Tournament, RandomBranchStaysNearChance)
+{
+    TournamentPredictor p(12);
+    Rng rng(17);
+    for (int i = 0; i < 4000; ++i)
+        p.update(0x400800, rng.chance(0.5));
+    p.resetStats();
+    for (int i = 0; i < 4000; ++i)
+        p.update(0x400800, rng.chance(0.5));
+    double rate = static_cast<double>(p.mispredicts()) /
+                  static_cast<double>(p.lookups());
+    EXPECT_GT(rate, 0.35);
+    EXPECT_LT(rate, 0.65);
+}
+
+TEST(Tournament, ResetAndWarmup)
+{
+    TournamentPredictor p(10);
+    for (int i = 0; i < 10; ++i)
+        p.update(0x400900, true);
+    p.reset();
+    p.resetStats();
+    EXPECT_FALSE(p.predict(0x400900));
+    p.setWarmup(true);
+    for (int i = 0; i < 10; ++i)
+        p.update(0x400900, true);
+    EXPECT_EQ(p.lookups(), 0u);
+    p.setWarmup(false);
+    EXPECT_TRUE(p.predict(0x400900));
+}
+
+BenchmarkSpec
+timingSpec(KernelKind kernel, u64 ws, double dataDep = 0.05)
+{
+    BenchmarkSpec s;
+    s.name = "timing-test";
+    s.seed = 99;
+    s.totalChunks = 200;
+    s.chunkLen = 1000;
+    PhaseSpec a;
+    a.weight = 1.0;
+    a.kernel = kernel;
+    a.workingSetBytes = ws;
+    a.dataDepBranchFraction = dataDep;
+    a.localFraction = 0.0; // kernel behaviour only, no stack traffic
+    s.phases = {a};
+    s.schedule = ScheduleKind::Contiguous;
+    return s;
+}
+
+TimingStats
+runTiming(const BenchmarkSpec &spec,
+          MachineConfig cfg = tableIIIMachine())
+{
+    SyntheticWorkload wl(spec);
+    IntervalCoreTool core(cfg);
+    Engine engine;
+    engine.attach(&core);
+    engine.runWhole(wl);
+    return core.stats();
+}
+
+TEST(IntervalCore, CpiBoundedBelowByDispatchWidth)
+{
+    TimingStats t =
+        runTiming(timingSpec(KernelKind::Blocked, 1 << 20, 0.0));
+    EXPECT_GE(t.cpi(), 1.0 / 4.0);
+    EXPECT_LT(t.cpi(), 10.0);
+    EXPECT_EQ(t.instrs, 200000u);
+}
+
+TEST(IntervalCore, CacheMissesRaiseCpi)
+{
+    // L1-resident tiles vs a pointer chase through 64 MiB.
+    TimingStats fast =
+        runTiming(timingSpec(KernelKind::Blocked, 1 << 20, 0.0));
+    TimingStats slow = runTiming(
+        timingSpec(KernelKind::PointerChase, 64ULL << 20, 0.0));
+    EXPECT_GT(slow.cpi(), fast.cpi() * 1.5);
+    EXPECT_GT(slow.memAccesses, fast.memAccesses * 10);
+}
+
+TEST(IntervalCore, UnpredictableBranchesRaiseCpi)
+{
+    TimingStats predictable =
+        runTiming(timingSpec(KernelKind::Blocked, 1 << 20, 0.0));
+    TimingStats noisy =
+        runTiming(timingSpec(KernelKind::Blocked, 1 << 20, 0.9));
+    EXPECT_GT(noisy.mispredictRate(),
+              predictable.mispredictRate() + 0.1);
+    EXPECT_GT(noisy.cpi(), predictable.cpi());
+}
+
+TEST(IntervalCore, WarmupExcludedFromStats)
+{
+    BenchmarkSpec spec =
+        timingSpec(KernelKind::ZipfHotCold, 8 << 20);
+    SyntheticWorkload wl(spec);
+    IntervalCoreTool core(tableIIIMachine());
+    Engine engine;
+    engine.attach(&core);
+    core.setWarmup(true);
+    engine.run(wl, 0, 100);
+    EXPECT_EQ(core.stats().instrs, 0u);
+    core.setWarmup(false);
+    engine.run(wl, 100, 100);
+    EXPECT_EQ(core.stats().instrs, 100000u);
+}
+
+TEST(IntervalCore, ColdRestartRaisesCpiOnHotData)
+{
+    // A hot working set measured twice: continuing warm vs after a
+    // cold restart.  Cold must not be faster.
+    BenchmarkSpec spec =
+        timingSpec(KernelKind::ZipfHotCold, 8 << 20);
+    SyntheticWorkload wl(spec);
+
+    IntervalCoreTool warm(tableIIIMachine());
+    {
+        Engine e;
+        e.attach(&warm);
+        warm.setWarmup(true);
+        e.run(wl, 0, 100);
+        warm.setWarmup(false);
+        e.run(wl, 100, 50);
+    }
+    IntervalCoreTool cold(tableIIIMachine());
+    {
+        Engine e;
+        e.attach(&cold);
+        e.run(wl, 100, 50);
+    }
+    EXPECT_GE(cold.stats().cpi(), warm.stats().cpi());
+}
+
+TEST(MachineConfig, TableIIIDefaults)
+{
+    MachineConfig cfg = tableIIIMachine();
+    EXPECT_EQ(cfg.dispatchWidth, 4u);
+    EXPECT_EQ(cfg.robEntries, 168u);
+    EXPECT_EQ(cfg.branchMispredictPenalty, 8u);
+    EXPECT_EQ(cfg.l1LatencyCycles, 4u);
+    EXPECT_EQ(cfg.l2LatencyCycles, 10u);
+    EXPECT_EQ(cfg.l3LatencyCycles, 30u);
+    EXPECT_EQ(cfg.caches.l3.sizeBytes, 8u << 20);
+    std::string desc = describeMachine(cfg);
+    EXPECT_NE(desc.find("i7-3770"), std::string::npos);
+    EXPECT_NE(desc.find("168 entries"), std::string::npos);
+}
+
+TEST(MachineConfig, HashTracksChanges)
+{
+    MachineConfig a = tableIIIMachine();
+    MachineConfig b = a;
+    EXPECT_EQ(a.contentHash(), b.contentHash());
+    b.robEntries = 256;
+    EXPECT_NE(a.contentHash(), b.contentHash());
+}
+
+} // namespace
+} // namespace splab
