@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_simpoint.dir/ablation_simpoint.cc.o"
+  "CMakeFiles/ablation_simpoint.dir/ablation_simpoint.cc.o.d"
+  "ablation_simpoint"
+  "ablation_simpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_simpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_subsetting.dir/ablation_subsetting.cc.o"
+  "CMakeFiles/ablation_subsetting.dir/ablation_subsetting.cc.o.d"
+  "ablation_subsetting"
+  "ablation_subsetting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subsetting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

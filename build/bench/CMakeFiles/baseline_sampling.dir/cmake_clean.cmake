@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_sampling.dir/baseline_sampling.cc.o"
+  "CMakeFiles/baseline_sampling.dir/baseline_sampling.cc.o.d"
+  "baseline_sampling"
+  "baseline_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_l3_accesses.dir/fig10_l3_accesses.cc.o"
+  "CMakeFiles/fig10_l3_accesses.dir/fig10_l3_accesses.cc.o.d"
+  "fig10_l3_accesses"
+  "fig10_l3_accesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_l3_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

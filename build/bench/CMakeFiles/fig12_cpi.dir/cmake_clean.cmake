@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cpi.dir/fig12_cpi.cc.o"
+  "CMakeFiles/fig12_cpi.dir/fig12_cpi.cc.o.d"
+  "fig12_cpi"
+  "fig12_cpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_weights.dir/fig6_weights.cc.o"
+  "CMakeFiles/fig6_weights.dir/fig6_weights.cc.o.d"
+  "fig6_weights"
+  "fig6_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_instr_distribution.dir/fig7_instr_distribution.cc.o"
+  "CMakeFiles/fig7_instr_distribution.dir/fig7_instr_distribution.cc.o.d"
+  "fig7_instr_distribution"
+  "fig7_instr_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_instr_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cache_missrates.dir/fig8_cache_missrates.cc.o"
+  "CMakeFiles/fig8_cache_missrates.dir/fig8_cache_missrates.cc.o.d"
+  "fig8_cache_missrates"
+  "fig8_cache_missrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cache_missrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

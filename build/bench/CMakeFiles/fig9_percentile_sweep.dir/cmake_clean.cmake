@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_percentile_sweep.dir/fig9_percentile_sweep.cc.o"
+  "CMakeFiles/fig9_percentile_sweep.dir/fig9_percentile_sweep.cc.o.d"
+  "fig9_percentile_sweep"
+  "fig9_percentile_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_percentile_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

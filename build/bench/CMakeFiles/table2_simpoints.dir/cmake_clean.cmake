@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_simpoints.dir/table2_simpoints.cc.o"
+  "CMakeFiles/table2_simpoints.dir/table2_simpoints.cc.o.d"
+  "table2_simpoints"
+  "table2_simpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_simpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_warmup_study.dir/cache_warmup_study.cpp.o"
+  "CMakeFiles/cache_warmup_study.dir/cache_warmup_study.cpp.o.d"
+  "cache_warmup_study"
+  "cache_warmup_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_warmup_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splab_cache.dir/cache.cc.o"
+  "CMakeFiles/splab_cache.dir/cache.cc.o.d"
+  "CMakeFiles/splab_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/splab_cache.dir/hierarchy.cc.o.d"
+  "libsplab_cache.a"
+  "libsplab_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splab_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

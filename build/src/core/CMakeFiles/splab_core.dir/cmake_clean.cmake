@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splab_core.dir/artifact_cache.cc.o"
+  "CMakeFiles/splab_core.dir/artifact_cache.cc.o.d"
+  "CMakeFiles/splab_core.dir/experiments.cc.o"
+  "CMakeFiles/splab_core.dir/experiments.cc.o.d"
+  "CMakeFiles/splab_core.dir/metrics.cc.o"
+  "CMakeFiles/splab_core.dir/metrics.cc.o.d"
+  "CMakeFiles/splab_core.dir/pipeline.cc.o"
+  "CMakeFiles/splab_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/splab_core.dir/runs.cc.o"
+  "CMakeFiles/splab_core.dir/runs.cc.o.d"
+  "CMakeFiles/splab_core.dir/subsetting.cc.o"
+  "CMakeFiles/splab_core.dir/subsetting.cc.o.d"
+  "libsplab_core.a"
+  "libsplab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

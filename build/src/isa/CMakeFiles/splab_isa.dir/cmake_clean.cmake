@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splab_isa.dir/instr.cc.o"
+  "CMakeFiles/splab_isa.dir/instr.cc.o.d"
+  "libsplab_isa.a"
+  "libsplab_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splab_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splab_perf.dir/native.cc.o"
+  "CMakeFiles/splab_perf.dir/native.cc.o.d"
+  "libsplab_perf.a"
+  "libsplab_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splab_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

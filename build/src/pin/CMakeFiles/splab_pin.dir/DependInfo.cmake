@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pin/engine.cc" "src/pin/CMakeFiles/splab_pin.dir/engine.cc.o" "gcc" "src/pin/CMakeFiles/splab_pin.dir/engine.cc.o.d"
+  "/root/repo/src/pin/tools/allcache.cc" "src/pin/CMakeFiles/splab_pin.dir/tools/allcache.cc.o" "gcc" "src/pin/CMakeFiles/splab_pin.dir/tools/allcache.cc.o.d"
+  "/root/repo/src/pin/tools/bbv_tool.cc" "src/pin/CMakeFiles/splab_pin.dir/tools/bbv_tool.cc.o" "gcc" "src/pin/CMakeFiles/splab_pin.dir/tools/bbv_tool.cc.o.d"
+  "/root/repo/src/pin/tools/cold_classifier.cc" "src/pin/CMakeFiles/splab_pin.dir/tools/cold_classifier.cc.o" "gcc" "src/pin/CMakeFiles/splab_pin.dir/tools/cold_classifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/splab_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/splab_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/simpoint/CMakeFiles/splab_simpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/splab_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/splab_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splab_pin.dir/engine.cc.o"
+  "CMakeFiles/splab_pin.dir/engine.cc.o.d"
+  "CMakeFiles/splab_pin.dir/tools/allcache.cc.o"
+  "CMakeFiles/splab_pin.dir/tools/allcache.cc.o.d"
+  "CMakeFiles/splab_pin.dir/tools/bbv_tool.cc.o"
+  "CMakeFiles/splab_pin.dir/tools/bbv_tool.cc.o.d"
+  "CMakeFiles/splab_pin.dir/tools/cold_classifier.cc.o"
+  "CMakeFiles/splab_pin.dir/tools/cold_classifier.cc.o.d"
+  "libsplab_pin.a"
+  "libsplab_pin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splab_pin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

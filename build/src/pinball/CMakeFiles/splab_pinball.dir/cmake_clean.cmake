@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splab_pinball.dir/logger.cc.o"
+  "CMakeFiles/splab_pinball.dir/logger.cc.o.d"
+  "CMakeFiles/splab_pinball.dir/pinball.cc.o"
+  "CMakeFiles/splab_pinball.dir/pinball.cc.o.d"
+  "CMakeFiles/splab_pinball.dir/replayer.cc.o"
+  "CMakeFiles/splab_pinball.dir/replayer.cc.o.d"
+  "libsplab_pinball.a"
+  "libsplab_pinball.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splab_pinball.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

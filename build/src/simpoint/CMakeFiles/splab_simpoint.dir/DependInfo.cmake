@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simpoint/baselines.cc" "src/simpoint/CMakeFiles/splab_simpoint.dir/baselines.cc.o" "gcc" "src/simpoint/CMakeFiles/splab_simpoint.dir/baselines.cc.o.d"
+  "/root/repo/src/simpoint/bbv.cc" "src/simpoint/CMakeFiles/splab_simpoint.dir/bbv.cc.o" "gcc" "src/simpoint/CMakeFiles/splab_simpoint.dir/bbv.cc.o.d"
+  "/root/repo/src/simpoint/bic.cc" "src/simpoint/CMakeFiles/splab_simpoint.dir/bic.cc.o" "gcc" "src/simpoint/CMakeFiles/splab_simpoint.dir/bic.cc.o.d"
+  "/root/repo/src/simpoint/kmeans.cc" "src/simpoint/CMakeFiles/splab_simpoint.dir/kmeans.cc.o" "gcc" "src/simpoint/CMakeFiles/splab_simpoint.dir/kmeans.cc.o.d"
+  "/root/repo/src/simpoint/projection.cc" "src/simpoint/CMakeFiles/splab_simpoint.dir/projection.cc.o" "gcc" "src/simpoint/CMakeFiles/splab_simpoint.dir/projection.cc.o.d"
+  "/root/repo/src/simpoint/simpoint.cc" "src/simpoint/CMakeFiles/splab_simpoint.dir/simpoint.cc.o" "gcc" "src/simpoint/CMakeFiles/splab_simpoint.dir/simpoint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/splab_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

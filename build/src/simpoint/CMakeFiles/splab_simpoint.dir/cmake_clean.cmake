@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splab_simpoint.dir/baselines.cc.o"
+  "CMakeFiles/splab_simpoint.dir/baselines.cc.o.d"
+  "CMakeFiles/splab_simpoint.dir/bbv.cc.o"
+  "CMakeFiles/splab_simpoint.dir/bbv.cc.o.d"
+  "CMakeFiles/splab_simpoint.dir/bic.cc.o"
+  "CMakeFiles/splab_simpoint.dir/bic.cc.o.d"
+  "CMakeFiles/splab_simpoint.dir/kmeans.cc.o"
+  "CMakeFiles/splab_simpoint.dir/kmeans.cc.o.d"
+  "CMakeFiles/splab_simpoint.dir/projection.cc.o"
+  "CMakeFiles/splab_simpoint.dir/projection.cc.o.d"
+  "CMakeFiles/splab_simpoint.dir/simpoint.cc.o"
+  "CMakeFiles/splab_simpoint.dir/simpoint.cc.o.d"
+  "libsplab_simpoint.a"
+  "libsplab_simpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splab_simpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splab_support.dir/env.cc.o"
+  "CMakeFiles/splab_support.dir/env.cc.o.d"
+  "CMakeFiles/splab_support.dir/logging.cc.o"
+  "CMakeFiles/splab_support.dir/logging.cc.o.d"
+  "CMakeFiles/splab_support.dir/rng.cc.o"
+  "CMakeFiles/splab_support.dir/rng.cc.o.d"
+  "CMakeFiles/splab_support.dir/serialize.cc.o"
+  "CMakeFiles/splab_support.dir/serialize.cc.o.d"
+  "CMakeFiles/splab_support.dir/stats_util.cc.o"
+  "CMakeFiles/splab_support.dir/stats_util.cc.o.d"
+  "CMakeFiles/splab_support.dir/table.cc.o"
+  "CMakeFiles/splab_support.dir/table.cc.o.d"
+  "libsplab_support.a"
+  "libsplab_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splab_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

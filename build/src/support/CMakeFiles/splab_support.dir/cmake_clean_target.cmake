@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsplab_support.a"
+)

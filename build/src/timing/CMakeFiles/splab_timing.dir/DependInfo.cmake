@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/branch_predictor.cc" "src/timing/CMakeFiles/splab_timing.dir/branch_predictor.cc.o" "gcc" "src/timing/CMakeFiles/splab_timing.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/timing/interval_core.cc" "src/timing/CMakeFiles/splab_timing.dir/interval_core.cc.o" "gcc" "src/timing/CMakeFiles/splab_timing.dir/interval_core.cc.o.d"
+  "/root/repo/src/timing/machine_config.cc" "src/timing/CMakeFiles/splab_timing.dir/machine_config.cc.o" "gcc" "src/timing/CMakeFiles/splab_timing.dir/machine_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pin/CMakeFiles/splab_pin.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/splab_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/splab_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/splab_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/simpoint/CMakeFiles/splab_simpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/splab_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splab_timing.dir/branch_predictor.cc.o"
+  "CMakeFiles/splab_timing.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/splab_timing.dir/interval_core.cc.o"
+  "CMakeFiles/splab_timing.dir/interval_core.cc.o.d"
+  "CMakeFiles/splab_timing.dir/machine_config.cc.o"
+  "CMakeFiles/splab_timing.dir/machine_config.cc.o.d"
+  "libsplab_timing.a"
+  "libsplab_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splab_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/benchmark_spec.cc" "src/workload/CMakeFiles/splab_workload.dir/benchmark_spec.cc.o" "gcc" "src/workload/CMakeFiles/splab_workload.dir/benchmark_spec.cc.o.d"
+  "/root/repo/src/workload/kernels.cc" "src/workload/CMakeFiles/splab_workload.dir/kernels.cc.o" "gcc" "src/workload/CMakeFiles/splab_workload.dir/kernels.cc.o.d"
+  "/root/repo/src/workload/phase.cc" "src/workload/CMakeFiles/splab_workload.dir/phase.cc.o" "gcc" "src/workload/CMakeFiles/splab_workload.dir/phase.cc.o.d"
+  "/root/repo/src/workload/schedule.cc" "src/workload/CMakeFiles/splab_workload.dir/schedule.cc.o" "gcc" "src/workload/CMakeFiles/splab_workload.dir/schedule.cc.o.d"
+  "/root/repo/src/workload/suite.cc" "src/workload/CMakeFiles/splab_workload.dir/suite.cc.o" "gcc" "src/workload/CMakeFiles/splab_workload.dir/suite.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/splab_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/splab_workload.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/splab_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/splab_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

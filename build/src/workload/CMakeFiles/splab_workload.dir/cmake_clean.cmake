@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splab_workload.dir/benchmark_spec.cc.o"
+  "CMakeFiles/splab_workload.dir/benchmark_spec.cc.o.d"
+  "CMakeFiles/splab_workload.dir/kernels.cc.o"
+  "CMakeFiles/splab_workload.dir/kernels.cc.o.d"
+  "CMakeFiles/splab_workload.dir/phase.cc.o"
+  "CMakeFiles/splab_workload.dir/phase.cc.o.d"
+  "CMakeFiles/splab_workload.dir/schedule.cc.o"
+  "CMakeFiles/splab_workload.dir/schedule.cc.o.d"
+  "CMakeFiles/splab_workload.dir/suite.cc.o"
+  "CMakeFiles/splab_workload.dir/suite.cc.o.d"
+  "CMakeFiles/splab_workload.dir/synthetic.cc.o"
+  "CMakeFiles/splab_workload.dir/synthetic.cc.o.d"
+  "libsplab_workload.a"
+  "libsplab_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splab_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

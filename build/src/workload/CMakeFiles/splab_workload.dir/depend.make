@@ -1,0 +1,2 @@
+# Empty dependencies file for splab_workload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pin.dir/test_pin.cc.o"
+  "CMakeFiles/test_pin.dir/test_pin.cc.o.d"
+  "test_pin"
+  "test_pin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

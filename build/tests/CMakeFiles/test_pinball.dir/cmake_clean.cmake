@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pinball.dir/test_pinball.cc.o"
+  "CMakeFiles/test_pinball.dir/test_pinball.cc.o.d"
+  "test_pinball"
+  "test_pinball.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pinball.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

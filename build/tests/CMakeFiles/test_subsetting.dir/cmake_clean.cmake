@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subsetting.dir/test_subsetting.cc.o"
+  "CMakeFiles/test_subsetting.dir/test_subsetting.cc.o.d"
+  "test_subsetting"
+  "test_subsetting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subsetting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

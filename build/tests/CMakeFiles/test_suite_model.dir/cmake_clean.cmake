@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suite_model.dir/test_suite_model.cc.o"
+  "CMakeFiles/test_suite_model.dir/test_suite_model.cc.o.d"
+  "test_suite_model"
+  "test_suite_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suite_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
