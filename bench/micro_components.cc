@@ -178,8 +178,9 @@ BM_KMeans(benchmark::State &state)
     for (auto &p : pts)
         for (auto &x : p)
             x = rng.uniform(-1.0, 1.0);
+    DenseMatrix m = DenseMatrix::fromRows(pts);
     for (auto _ : state) {
-        KMeansResult r = kmeansFit(pts, k, 1, 20);
+        KMeansResult r = kmeansFit(m, k, 1, 20);
         benchmark::DoNotOptimize(r.distortion);
     }
 }

@@ -9,6 +9,7 @@
 #include "pinball/logger.hh"
 #include "pinball/replayer.hh"
 #include "support/logging.hh"
+#include "support/thread_pool.hh"
 #include "timing/interval_core.hh"
 
 namespace splab
@@ -87,18 +88,19 @@ measurePointsCache(const BenchmarkSpec &spec,
                    const SimPointResult &simpoints,
                    const HierarchyConfig &caches, u64 warmupChunks)
 {
-    auto t0 = std::chrono::steady_clock::now();
     SyntheticWorkload wl(spec);
     Pinball whole = Logger::captureWhole(wl);
     Pinball regional = Logger::makeRegional(whole, simpoints);
-    Replayer replayer(regional);
 
-    std::vector<PointCacheMetrics> out;
-    out.reserve(regional.regions().size());
-    for (std::size_t i = 0; i < regional.regions().size(); ++i) {
+    // Each regional pinball replays in a fresh process: cold caches
+    // unless explicitly warmed.  Replays are mutually independent,
+    // so they fan out across the pool — every task owns its
+    // replayer, workload and tool stack, and results land in
+    // index-addressed slots.
+    std::vector<PointCacheMetrics> out(regional.regions().size());
+    parallelFor(regional.regions().size(), [&](std::size_t i) {
         auto tp = std::chrono::steady_clock::now();
-        // Each regional pinball replays in a fresh process: cold
-        // caches unless explicitly warmed.
+        Replayer replayer(regional);
         AllCacheTool cache(caches);
         LdStMixTool mix;
         BranchProfileTool branches;
@@ -121,9 +123,8 @@ measurePointsCache(const BenchmarkSpec &spec,
         pm.weight = regional.regions()[i].weight;
         pm.m = harvestCache(cache, mix, branches, instrs,
                             secondsSince(tp));
-        out.push_back(pm);
-    }
-    (void)t0;
+        out[i] = pm;
+    });
     return out;
 }
 
@@ -148,12 +149,13 @@ measurePointsTiming(const BenchmarkSpec &spec,
     SyntheticWorkload wl(spec);
     Pinball whole = Logger::captureWhole(wl);
     Pinball regional = Logger::makeRegional(whole, simpoints);
-    Replayer replayer(regional);
 
-    std::vector<PointTimingMetrics> out;
-    out.reserve(regional.regions().size());
-    for (std::size_t i = 0; i < regional.regions().size(); ++i) {
+    // Cold core per point; see measurePointsCache for the
+    // parallel-replay invariants.
+    std::vector<PointTimingMetrics> out(regional.regions().size());
+    parallelFor(regional.regions().size(), [&](std::size_t i) {
         auto tp = std::chrono::steady_clock::now();
+        Replayer replayer(regional);
         IntervalCoreTool core(machine);
         Engine engine;
         engine.attach(&core);
@@ -169,8 +171,8 @@ measurePointsTiming(const BenchmarkSpec &spec,
         PointTimingMetrics pm;
         pm.weight = regional.regions()[i].weight;
         pm.m = harvestTiming(core, secondsSince(tp));
-        out.push_back(pm);
-    }
+        out[i] = pm;
+    });
     return out;
 }
 

@@ -8,11 +8,11 @@ namespace splab
 {
 
 double
-bicScore(const KMeansResult &fit,
-         const std::vector<std::vector<double>> &points)
+bicScore(const KMeansResult &fit, std::size_t numPoints,
+         std::size_t dims)
 {
-    const double r = static_cast<double>(points.size());
-    const double m = static_cast<double>(points[0].size());
+    const double r = static_cast<double>(numPoints);
+    const double m = static_cast<double>(dims);
     const double k = static_cast<double>(fit.k);
     SPLAB_ASSERT(r >= 1.0, "bic: no points");
 

@@ -16,10 +16,25 @@ namespace splab
  * BIC of a k-means clustering under the identical-spherical-Gaussian
  * model (Pelleg & Moore, X-means): log-likelihood of the data minus
  * a complexity penalty of (p/2) log R with p = K*(D+1) free
- * parameters.  Larger is better.
+ * parameters.  Larger is better.  Only the point/dimension counts of
+ * the data enter; the fit carries the distortion.
  */
-double bicScore(const KMeansResult &fit,
-                const std::vector<std::vector<double>> &points);
+double bicScore(const KMeansResult &fit, std::size_t numPoints,
+                std::size_t dims);
+
+inline double
+bicScore(const KMeansResult &fit, const DenseMatrix &points)
+{
+    return bicScore(fit, points.rows(), points.cols());
+}
+
+inline double
+bicScore(const KMeansResult &fit,
+         const std::vector<std::vector<double>> &points)
+{
+    return bicScore(fit, points.size(),
+                    points.empty() ? 0 : points[0].size());
+}
 
 /**
  * SimPoint's model-selection rule: given BIC scores for increasing

@@ -1,20 +1,20 @@
 #include "kmeans.hh"
 
 #include <limits>
+#include <utility>
 
 #include "support/logging.hh"
 #include "support/rng.hh"
+#include "support/thread_pool.hh"
 
 namespace splab
 {
 
 double
-squaredDistance(const std::vector<double> &a,
-                const std::vector<double> &b)
+squaredDistance(const double *a, const double *b, std::size_t n)
 {
-    SPLAB_ASSERT(a.size() == b.size(), "dimension mismatch");
     double s = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
         double d = a[i] - b[i];
         s += d * d;
     }
@@ -22,15 +22,24 @@ squaredDistance(const std::vector<double> &a,
 }
 
 double
-KMeansResult::avgClusterVariance(
-    const std::vector<std::vector<double>> &points) const
+squaredDistance(const std::vector<double> &a,
+                const std::vector<double> &b)
+{
+    SPLAB_ASSERT(a.size() == b.size(), "dimension mismatch");
+    return squaredDistance(a.data(), b.data(), a.size());
+}
+
+double
+KMeansResult::avgClusterVariance(const DenseMatrix &points) const
 {
     if (k == 0 || points.empty())
         return 0.0;
     std::vector<double> sum(k, 0.0);
-    for (std::size_t i = 0; i < points.size(); ++i)
+    for (std::size_t i = 0; i < points.rows(); ++i)
         sum[assignment[i]] +=
-            squaredDistance(points[i], centroids[assignment[i]]);
+            squaredDistance(points.row(i),
+                            centroids.row(assignment[i]),
+                            points.cols());
     double acc = 0.0;
     u32 live = 0;
     for (u32 c = 0; c < k; ++c) {
@@ -45,21 +54,37 @@ KMeansResult::avgClusterVariance(
 namespace
 {
 
-/** k-means++ initial centroid selection. */
-std::vector<std::vector<double>>
-seedCentroids(const std::vector<std::vector<double>> &points, u32 k,
-              Rng &rng)
-{
-    std::vector<std::vector<double>> centroids;
-    centroids.reserve(k);
-    centroids.push_back(points[rng.below(points.size())]);
+/** Points per assignment-pass chunk.  A pure constant: the chunk
+ *  decomposition (and hence the floating-point reduction order) must
+ *  never depend on the thread count. */
+constexpr std::size_t kAssignChunk = 256;
 
-    std::vector<double> d2(points.size(),
+/** Per-chunk partials of one Lloyd assignment pass. */
+struct AssignAccum
+{
+    std::vector<double> sums; ///< k * dim centroid numerators
+    std::vector<u64> counts;  ///< k populations
+    double distortion = 0.0;
+    bool changed = false;
+};
+
+/** k-means++ initial centroid selection (sequential: each draw
+ *  conditions on the previous centroid). */
+DenseMatrix
+seedCentroids(const DenseMatrix &points, u32 k, Rng &rng)
+{
+    const std::size_t dim = points.cols();
+    DenseMatrix centroids(k, dim);
+    u32 placed = 0;
+    centroids.setRow(placed++, points.row(rng.below(points.rows())));
+
+    std::vector<double> d2(points.rows(),
                            std::numeric_limits<double>::max());
-    while (centroids.size() < k) {
+    while (placed < k) {
         double total = 0.0;
-        for (std::size_t i = 0; i < points.size(); ++i) {
-            double d = squaredDistance(points[i], centroids.back());
+        const double *last = centroids.row(placed - 1);
+        for (std::size_t i = 0; i < points.rows(); ++i) {
+            double d = squaredDistance(points.row(i), last, dim);
             if (d < d2[i])
                 d2[i] = d;
             total += d2[i];
@@ -67,20 +92,21 @@ seedCentroids(const std::vector<std::vector<double>> &points, u32 k,
         if (total <= 0.0) {
             // All remaining points coincide with a centroid; pad
             // with duplicates (clusters will come back empty).
-            centroids.push_back(points[rng.below(points.size())]);
+            centroids.setRow(placed++,
+                             points.row(rng.below(points.rows())));
             continue;
         }
         double u = rng.uniform() * total;
         double acc = 0.0;
-        std::size_t pick = points.size() - 1;
-        for (std::size_t i = 0; i < points.size(); ++i) {
+        std::size_t pick = points.rows() - 1;
+        for (std::size_t i = 0; i < points.rows(); ++i) {
             acc += d2[i];
             if (acc >= u) {
                 pick = i;
                 break;
             }
         }
-        centroids.push_back(points[pick]);
+        centroids.setRow(placed++, points.row(pick));
     }
     return centroids;
 }
@@ -88,16 +114,15 @@ seedCentroids(const std::vector<std::vector<double>> &points, u32 k,
 } // namespace
 
 KMeansResult
-kmeansFit(const std::vector<std::vector<double>> &points, u32 k,
-          u64 seed, int maxIters)
+kmeansFit(const DenseMatrix &points, u32 k, u64 seed, int maxIters)
 {
     SPLAB_ASSERT(!points.empty(), "kmeans: no points");
-    if (k > points.size())
-        k = static_cast<u32>(points.size());
+    if (k > points.rows())
+        k = static_cast<u32>(points.rows());
     SPLAB_ASSERT(k >= 1, "kmeans: k must be >= 1");
 
-    const std::size_t n = points.size();
-    const std::size_t dim = points[0].size();
+    const std::size_t n = points.rows();
+    const std::size_t dim = points.cols();
 
     Rng rng(seed, 0x63a5ULL);
     KMeansResult res;
@@ -106,50 +131,71 @@ kmeansFit(const std::vector<std::vector<double>> &points, u32 k,
     res.assignment.assign(n, 0);
     res.clusterSize.assign(k, 0);
 
-    std::vector<std::vector<double>> sums(
-        k, std::vector<double>(dim, 0.0));
+    const auto chunks = fixedChunks(n, kAssignChunk);
+    std::vector<AssignAccum> accums(chunks.size());
+    std::vector<double> sums(k * dim, 0.0);
 
     for (int iter = 0; iter < maxIters; ++iter) {
+        // Assignment pass: each chunk accumulates private partial
+        // sums; res.assignment is written index-wise, so chunks
+        // never contend.
+        parallelFor(chunks.size(), [&](std::size_t ci) {
+            AssignAccum &a = accums[ci];
+            a.sums.assign(k * dim, 0.0);
+            a.counts.assign(k, 0);
+            a.distortion = 0.0;
+            a.changed = false;
+            for (std::size_t i = chunks[ci].begin;
+                 i < chunks[ci].end; ++i) {
+                const double *p = points.row(i);
+                double best = std::numeric_limits<double>::max();
+                u32 bestC = 0;
+                for (u32 c = 0; c < k; ++c) {
+                    double d = squaredDistance(
+                        p, res.centroids.row(c), dim);
+                    if (d < best) {
+                        best = d;
+                        bestC = c;
+                    }
+                }
+                if (res.assignment[i] != bestC) {
+                    res.assignment[i] = bestC;
+                    a.changed = true;
+                }
+                a.distortion += best;
+                ++a.counts[bestC];
+                double *s = a.sums.data() + bestC * dim;
+                for (std::size_t d = 0; d < dim; ++d)
+                    s[d] += p[d];
+            }
+        });
+
+        // Reduce in chunk order — fixed regardless of thread count.
         bool changed = false;
         res.distortion = 0.0;
-        for (auto &s : sums)
-            s.assign(dim, 0.0);
         std::fill(res.clusterSize.begin(), res.clusterSize.end(), 0);
-
-        for (std::size_t i = 0; i < n; ++i) {
-            double best = std::numeric_limits<double>::max();
-            u32 bestC = 0;
-            for (u32 c = 0; c < k; ++c) {
-                double d = squaredDistance(points[i],
-                                           res.centroids[c]);
-                if (d < best) {
-                    best = d;
-                    bestC = c;
-                }
-            }
-            if (res.assignment[i] != bestC) {
-                res.assignment[i] = bestC;
-                changed = true;
-            }
-            res.distortion += best;
-            ++res.clusterSize[bestC];
-            const auto &p = points[i];
-            auto &s = sums[bestC];
-            for (std::size_t d = 0; d < dim; ++d)
-                s[d] += p[d];
+        std::fill(sums.begin(), sums.end(), 0.0);
+        for (const AssignAccum &a : accums) {
+            res.distortion += a.distortion;
+            changed = changed || a.changed;
+            for (u32 c = 0; c < k; ++c)
+                res.clusterSize[c] += a.counts[c];
+            for (std::size_t j = 0; j < sums.size(); ++j)
+                sums[j] += a.sums[j];
         }
 
         for (u32 c = 0; c < k; ++c) {
             if (res.clusterSize[c] == 0) {
                 // Re-seed an empty cluster at a random point.
-                res.centroids[c] = points[rng.below(n)];
+                res.centroids.setRow(c, points.row(rng.below(n)));
                 changed = true;
                 continue;
             }
+            const double *s = sums.data() + c * dim;
+            double *cent = res.centroids.row(c);
             for (std::size_t d = 0; d < dim; ++d)
-                res.centroids[c][d] =
-                    sums[c][d] /
-                    static_cast<double>(res.clusterSize[c]);
+                cent[d] =
+                    s[d] / static_cast<double>(res.clusterSize[c]);
         }
 
         res.iterations = iter + 1;
@@ -162,21 +208,22 @@ kmeansFit(const std::vector<std::vector<double>> &points, u32 k,
 }
 
 KMeansResult
-kmeansBestOf(const std::vector<std::vector<double>> &points, u32 k,
-             u64 seed, int restarts, int maxIters)
+kmeansBestOf(const DenseMatrix &points, u32 k, u64 seed,
+             int restarts, int maxIters)
 {
     SPLAB_ASSERT(restarts >= 1, "kmeans: restarts must be >= 1");
-    KMeansResult best;
-    bool first = true;
-    for (int r = 0; r < restarts; ++r) {
-        KMeansResult cur =
-            kmeansFit(points, k, hashCombine(seed, r), maxIters);
-        if (first || cur.distortion < best.distortion) {
-            best = std::move(cur);
-            first = false;
-        }
-    }
-    return best;
+    auto fits = parallelMap<KMeansResult>(
+        static_cast<std::size_t>(restarts), [&](std::size_t r) {
+            return kmeansFit(points, k, hashCombine(seed, r),
+                             maxIters);
+        });
+    // Index-order reduction: the earliest restart wins ties, exactly
+    // as the serial loop did.
+    std::size_t best = 0;
+    for (std::size_t r = 1; r < fits.size(); ++r)
+        if (fits[r].distortion < fits[best].distortion)
+            best = r;
+    return std::move(fits[best]);
 }
 
 } // namespace splab

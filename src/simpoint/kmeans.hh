@@ -2,6 +2,12 @@
  * @file
  * Lloyd's k-means with k-means++ seeding, the clustering engine of
  * the SimPoint methodology.
+ *
+ * Points live in a contiguous row-major DenseMatrix so the
+ * nearest-centroid scans stream cache lines instead of chasing
+ * per-row pointers.  The assignment pass and the restart loop run on
+ * the global thread pool; per-chunk partial sums are reduced in
+ * fixed chunk order, so fits are bit-identical at any SPLAB_THREADS.
  */
 
 #ifndef SPLAB_SIMPOINT_KMEANS_HH
@@ -9,6 +15,7 @@
 
 #include <vector>
 
+#include "support/matrix.hh"
 #include "support/types.hh"
 
 namespace splab
@@ -18,8 +25,8 @@ namespace splab
 struct KMeansResult
 {
     u32 k = 0;
-    std::vector<u32> assignment;              ///< point -> cluster
-    std::vector<std::vector<double>> centroids;
+    std::vector<u32> assignment;  ///< point -> cluster
+    DenseMatrix centroids;        ///< k rows of dim columns
     std::vector<u64> clusterSize;
     double distortion = 0.0; ///< sum of squared distances
     int iterations = 0;
@@ -27,9 +34,12 @@ struct KMeansResult
 
     /** Mean over clusters of the within-cluster mean squared
      *  distance (the paper's Figure 4 "variance"). */
-    double avgClusterVariance(const
-        std::vector<std::vector<double>> &points) const;
+    double avgClusterVariance(const DenseMatrix &points) const;
 };
+
+/** Squared Euclidean distance between two dense rows of length n. */
+double squaredDistance(const double *a, const double *b,
+                       std::size_t n);
 
 /** Squared Euclidean distance between two dense vectors. */
 double squaredDistance(const std::vector<double> &a,
@@ -38,20 +48,41 @@ double squaredDistance(const std::vector<double> &a,
 /**
  * Fit k-means to @p points.
  *
- * @param points   dense row vectors (all the same dimensionality)
- * @param k        number of clusters (clamped to points.size())
+ * @param points   dense row-major point matrix
+ * @param k        number of clusters (clamped to points.rows())
  * @param seed     seeding determinism
  * @param maxIters Lloyd iteration cap
  */
-KMeansResult kmeansFit(const std::vector<std::vector<double>> &points,
-                       u32 k, u64 seed, int maxIters = 40);
+KMeansResult kmeansFit(const DenseMatrix &points, u32 k, u64 seed,
+                       int maxIters = 40);
 
 /**
- * Best of @p restarts fits (lowest distortion), varying the seed.
+ * Best of @p restarts fits (lowest distortion, earliest restart on
+ * ties), varying the seed.  Restarts run in parallel.
  */
-KMeansResult kmeansBestOf(
-    const std::vector<std::vector<double>> &points, u32 k, u64 seed,
-    int restarts, int maxIters = 40);
+KMeansResult kmeansBestOf(const DenseMatrix &points, u32 k, u64 seed,
+                          int restarts, int maxIters = 40);
+
+/// @name Row-vector conveniences (tests, benches, external callers)
+/// @{
+
+inline KMeansResult
+kmeansFit(const std::vector<std::vector<double>> &points, u32 k,
+          u64 seed, int maxIters = 40)
+{
+    return kmeansFit(DenseMatrix::fromRows(points), k, seed,
+                     maxIters);
+}
+
+inline KMeansResult
+kmeansBestOf(const std::vector<std::vector<double>> &points, u32 k,
+             u64 seed, int restarts, int maxIters = 40)
+{
+    return kmeansBestOf(DenseMatrix::fromRows(points), k, seed,
+                        restarts, maxIters);
+}
+
+/// @}
 
 } // namespace splab
 

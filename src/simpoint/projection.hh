@@ -6,7 +6,9 @@
  * before clustering; random projection approximately preserves
  * pairwise distances (Johnson-Lindenstrauss) at a fraction of the
  * cost.  The projection matrix is never materialised: entry (b, d)
- * is derived from a counter-based hash.
+ * is derived from a counter-based hash, so rows project
+ * independently and the batch entry points fan out across the
+ * thread pool.
  */
 
 #ifndef SPLAB_SIMPOINT_PROJECTION_HH
@@ -15,6 +17,7 @@
 #include <vector>
 
 #include "bbv.hh"
+#include "support/matrix.hh"
 
 namespace splab
 {
@@ -39,9 +42,24 @@ class RandomProjection
     void project(const FrequencyVector &v,
                  std::vector<double> &out) const;
 
+    /**
+     * Project @p v scaled by @p scale into @p out (dims() doubles).
+     * Passing scale = 1/l1Norm L1-normalizes on the fly, which lets
+     * callers skip materialising a normalized copy of the BBVs.
+     */
+    void projectScaled(const FrequencyVector &v, double scale,
+                       double *out) const;
+
     /** Project a batch; rows of the result align with @p vs. */
-    std::vector<std::vector<double>>
-    projectAll(const std::vector<FrequencyVector> &vs) const;
+    DenseMatrix projectAll(const std::vector<FrequencyVector> &vs)
+        const;
+
+    /**
+     * Project a batch with per-row L1 normalization, without copying
+     * or mutating the inputs.  Rows align with @p vs.
+     */
+    DenseMatrix projectAllNormalized(
+        const std::vector<FrequencyVector> &vs) const;
 
   private:
     u32 numDims;

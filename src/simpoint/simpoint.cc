@@ -6,6 +6,7 @@
 #include "support/logging.hh"
 #include "support/rng.hh"
 #include "support/serialize.hh"
+#include "support/thread_pool.hh"
 
 namespace splab
 {
@@ -67,7 +68,17 @@ SimPointResult::topByWeight(double quantile) const
 namespace
 {
 
-/** Strided deterministic sub-sample of [0, n). */
+/** Slices per finalize-pass chunk; a pure constant so the reduction
+ *  order never depends on the thread count. */
+constexpr std::size_t kSliceChunk = 1024;
+
+/**
+ * Strided deterministic sub-sample of [0, n): strictly increasing
+ * indices, at most cap of them.  When cap is close to n the
+ * floating-point stride rounds several slots onto the same index;
+ * such collisions are bumped to the next free index instead of
+ * duplicating sample rows.
+ */
 std::vector<u32>
 strideSample(std::size_t n, u32 cap)
 {
@@ -80,10 +91,43 @@ strideSample(std::size_t n, u32 cap)
     }
     idx.reserve(cap);
     double step = static_cast<double>(n) / static_cast<double>(cap);
-    for (u32 i = 0; i < cap; ++i)
-        idx.push_back(static_cast<u32>(
-            static_cast<double>(i) * step));
+    for (u32 i = 0; i < cap; ++i) {
+        u32 v = static_cast<u32>(static_cast<double>(i) * step);
+        if (!idx.empty() && v <= idx.back())
+            v = idx.back() + 1;
+        if (v >= n)
+            break;
+        idx.push_back(v);
+    }
     return idx;
+}
+
+/** Normalized + projected slices, and the clustering sub-sample. */
+struct ClusterInputs
+{
+    DenseMatrix projected; ///< one row per slice
+    DenseMatrix sample;    ///< strided sub-sample of the rows
+};
+
+/**
+ * The shared preamble of SimPoint selection: L1-normalize every BBV
+ * during projection (no normalized copy is materialised), then carve
+ * out the strided clustering sample.
+ */
+ClusterInputs
+prepareClusterInputs(const std::vector<FrequencyVector> &bbvs,
+                     const SimPointConfig &cfg)
+{
+    ClusterInputs in;
+    RandomProjection proj(cfg.projectionDim,
+                          hashCombine(cfg.seed, 0x9e37ULL));
+    in.projected = proj.projectAllNormalized(bbvs);
+
+    auto sampleIdx = strideSample(in.projected.rows(), cfg.sampleCap);
+    in.sample.reset(sampleIdx.size(), in.projected.cols());
+    for (std::size_t i = 0; i < sampleIdx.size(); ++i)
+        in.sample.setRow(i, in.projected.row(sampleIdx[i]));
+    return in;
 }
 
 /** Union-find with path halving. */
@@ -99,37 +143,60 @@ findRoot(std::vector<u32> &parent, u32 x)
 
 /** Build the final result from a fit over the sample. */
 SimPointResult
-finalize(const KMeansResult &fit,
-         const std::vector<std::vector<double>> &allProjected,
-         const std::vector<std::vector<double>> &samplePoints,
+finalize(const KMeansResult &fit, const DenseMatrix &allProjected,
          const SimPointConfig &cfg)
 {
     SimPointResult res;
-    res.totalSlices = allProjected.size();
+    res.totalSlices = allProjected.rows();
     res.sliceInstrs = cfg.sliceInstrs;
 
-    const std::size_t dim = allProjected[0].size();
+    const std::size_t n = allProjected.rows();
+    const std::size_t dim = allProjected.cols();
+    const auto chunks = fixedChunks(n, kSliceChunk);
 
     // Pass 1: assign every slice (not just the sample) to its
-    // nearest k-means centroid.
-    std::vector<u32> rawAssign(allProjected.size(), 0);
+    // nearest k-means centroid.  Chunks accumulate private
+    // population counts and per-cluster distance lists; the
+    // chunk-order reduction below concatenates the lists in slice
+    // order, exactly as a serial scan would.
+    struct Pass1Accum
+    {
+        std::vector<u64> population;
+        std::vector<std::vector<double>> distances;
+    };
+    std::vector<u32> rawAssign(n, 0);
+    std::vector<Pass1Accum> pass1(chunks.size());
+    parallelFor(chunks.size(), [&](std::size_t ci) {
+        Pass1Accum &a = pass1[ci];
+        a.population.assign(fit.k, 0);
+        a.distances.assign(fit.k, {});
+        for (std::size_t i = chunks[ci].begin; i < chunks[ci].end;
+             ++i) {
+            const double *p = allProjected.row(i);
+            double best = std::numeric_limits<double>::max();
+            u32 bestC = 0;
+            for (u32 c = 0; c < fit.k; ++c) {
+                double d =
+                    squaredDistance(p, fit.centroids.row(c), dim);
+                if (d < best) {
+                    best = d;
+                    bestC = c;
+                }
+            }
+            rawAssign[i] = bestC;
+            ++a.population[bestC];
+            a.distances[bestC].push_back(best);
+        }
+    });
     std::vector<u64> population(fit.k, 0);
     std::vector<std::vector<double>> distances(fit.k);
-    for (std::size_t i = 0; i < allProjected.size(); ++i) {
-        double best = std::numeric_limits<double>::max();
-        u32 bestC = 0;
+    for (const Pass1Accum &a : pass1)
         for (u32 c = 0; c < fit.k; ++c) {
-            double d = squaredDistance(allProjected[i],
-                                       fit.centroids[c]);
-            if (d < best) {
-                best = d;
-                bestC = c;
-            }
+            population[c] += a.population[c];
+            distances[c].insert(distances[c].end(),
+                                a.distances[c].begin(),
+                                a.distances[c].end());
         }
-        rawAssign[i] = bestC;
-        ++population[bestC];
-        distances[bestC].push_back(best);
-    }
 
     // Merge clusters whose centroids overlap within their own
     // spread (see SimPointConfig::mergeThreshold).  Spread is the
@@ -158,8 +225,9 @@ finalize(const KMeansResult &fit,
             for (u32 j = i + 1; j < fit.k; ++j) {
                 if (population[j] == 0)
                     continue;
-                double sep = squaredDistance(fit.centroids[i],
-                                             fit.centroids[j]);
+                double sep = squaredDistance(fit.centroids.row(i),
+                                             fit.centroids.row(j),
+                                             dim);
                 if (sep < cfg.mergeThreshold *
                               (variance[i] + variance[j]))
                     parent[findRoot(parent, j)] =
@@ -187,8 +255,9 @@ finalize(const KMeansResult &fit,
         u32 g = static_cast<u32>(groupIdOfRoot[root]);
         groupOf[c] = g;
         double w = static_cast<double>(population[c]);
+        const double *cent = fit.centroids.row(c);
         for (std::size_t d = 0; d < dim; ++d)
-            groupCentroid[g][d] += w * fit.centroids[c][d];
+            groupCentroid[g][d] += w * cent[d];
         groupPop[g] += population[c];
     }
     for (std::size_t g = 0; g < groupCentroid.size(); ++g)
@@ -197,27 +266,53 @@ finalize(const KMeansResult &fit,
                 static_cast<double>(groupPop[g]);
 
     // Pass 2: relabel slices, pick the representative (closest to
-    // the merged centroid) and the within-group variance.
+    // the merged centroid) and the within-group variance.  Again
+    // chunked with an ordered reduction: strict < comparisons keep
+    // the earliest-slice representative on ties, matching the
+    // serial scan.
     std::size_t nGroups = groupCentroid.size();
     res.chosenK = static_cast<u32>(nGroups);
-    res.sliceToCluster.assign(allProjected.size(), 0);
+    res.sliceToCluster.assign(n, 0);
+    struct Pass2Accum
+    {
+        std::vector<double> bestDist;
+        std::vector<SliceIndex> representative;
+        std::vector<double> sumDist;
+    };
+    std::vector<Pass2Accum> pass2(chunks.size());
+    parallelFor(chunks.size(), [&](std::size_t ci) {
+        Pass2Accum &a = pass2[ci];
+        a.bestDist.assign(nGroups,
+                          std::numeric_limits<double>::max());
+        a.representative.assign(nGroups, 0);
+        a.sumDist.assign(nGroups, 0.0);
+        for (std::size_t i = chunks[ci].begin; i < chunks[ci].end;
+             ++i) {
+            u32 g = groupOf[rawAssign[i]];
+            res.sliceToCluster[i] = g;
+            double d = squaredDistance(allProjected.row(i),
+                                       groupCentroid[g].data(), dim);
+            a.sumDist[g] += d;
+            if (d < a.bestDist[g]) {
+                a.bestDist[g] = d;
+                a.representative[g] = i;
+            }
+        }
+    });
     std::vector<double> bestDist(
         nGroups, std::numeric_limits<double>::max());
     std::vector<SliceIndex> representative(nGroups, 0);
     std::vector<double> groupSumDist(nGroups, 0.0);
-    for (std::size_t i = 0; i < allProjected.size(); ++i) {
-        u32 g = groupOf[rawAssign[i]];
-        res.sliceToCluster[i] = g;
-        double d =
-            squaredDistance(allProjected[i], groupCentroid[g]);
-        groupSumDist[g] += d;
-        if (d < bestDist[g]) {
-            bestDist[g] = d;
-            representative[g] = i;
+    for (const Pass2Accum &a : pass2)
+        for (std::size_t g = 0; g < nGroups; ++g) {
+            groupSumDist[g] += a.sumDist[g];
+            if (a.bestDist[g] < bestDist[g]) {
+                bestDist[g] = a.bestDist[g];
+                representative[g] = a.representative[g];
+            }
         }
-    }
 
-    double total = static_cast<double>(allProjected.size());
+    double total = static_cast<double>(n);
     for (u32 g = 0; g < nGroups; ++g) {
         SimPoint p;
         p.slice = representative[g];
@@ -234,7 +329,6 @@ finalize(const KMeansResult &fit,
               });
     // Cluster ids in points must track the sorted order's identity;
     // they already name the group labels used in sliceToCluster.
-    (void)samplePoints;
     return res;
 }
 
@@ -246,44 +340,40 @@ pickSimPoints(const std::vector<FrequencyVector> &bbvs,
 {
     SPLAB_ASSERT(!bbvs.empty(), "simpoint: no slices");
 
-    // Normalize + project every slice.
-    std::vector<FrequencyVector> norm = bbvs;
-    for (auto &v : norm)
-        v.normalize();
-    RandomProjection proj(cfg.projectionDim,
-                          hashCombine(cfg.seed, 0x9e37ULL));
-    auto projected = proj.projectAll(norm);
-
-    // Cluster on a strided sub-sample for tractability.
-    auto sampleIdx = strideSample(projected.size(), cfg.sampleCap);
-    std::vector<std::vector<double>> sample;
-    sample.reserve(sampleIdx.size());
-    for (u32 i : sampleIdx)
-        sample.push_back(projected[i]);
+    ClusterInputs in = prepareClusterInputs(bbvs, cfg);
 
     u32 maxK = cfg.maxK;
-    if (maxK > sample.size())
-        maxK = static_cast<u32>(sample.size());
+    if (maxK > in.sample.rows())
+        maxK = static_cast<u32>(in.sample.rows());
 
-    std::vector<KMeansResult> fits;
+    // The BIC model-selection sweep: every k is an independent fit
+    // seeded by hashCombine(seed, k), so the sweep fans out across
+    // the pool and results are collected by index.
+    struct SweepFit
+    {
+        KMeansResult fit;
+        KSweepEntry entry;
+    };
+    auto sweep = parallelMap<SweepFit>(maxK, [&](std::size_t ki) {
+        u32 k = static_cast<u32>(ki) + 1;
+        SweepFit s;
+        s.fit = kmeansBestOf(in.sample, k, hashCombine(cfg.seed, k),
+                             cfg.restarts, cfg.maxIters);
+        s.entry = {k, bicScore(s.fit, in.sample), s.fit.distortion,
+                   s.fit.avgClusterVariance(in.sample)};
+        return s;
+    });
+
     std::vector<double> scores;
-    SimPointResult res;
-    fits.reserve(maxK);
-    for (u32 k = 1; k <= maxK; ++k) {
-        KMeansResult fit =
-            kmeansBestOf(sample, k, hashCombine(cfg.seed, k),
-                         cfg.restarts, cfg.maxIters);
-        double bic = bicScore(fit, sample);
-        res.sweep.push_back({k, bic, fit.distortion,
-                             fit.avgClusterVariance(sample)});
-        scores.push_back(bic);
-        fits.push_back(std::move(fit));
-    }
+    scores.reserve(sweep.size());
+    for (const SweepFit &s : sweep)
+        scores.push_back(s.entry.bic);
 
     std::size_t pick = pickByBicFraction(scores, cfg.bicFraction);
-    SimPointResult out =
-        finalize(fits[pick], projected, sample, cfg);
-    out.sweep = std::move(res.sweep);
+    SimPointResult out = finalize(sweep[pick].fit, in.projected, cfg);
+    out.sweep.reserve(sweep.size());
+    for (const SweepFit &s : sweep)
+        out.sweep.push_back(s.entry);
     return out;
 }
 
@@ -294,26 +384,15 @@ pickSimPointsForcedK(const std::vector<FrequencyVector> &bbvs,
     SPLAB_ASSERT(!bbvs.empty(), "simpoint: no slices");
     SPLAB_ASSERT(k >= 1, "simpoint: forced k must be >= 1");
 
-    std::vector<FrequencyVector> norm = bbvs;
-    for (auto &v : norm)
-        v.normalize();
-    RandomProjection proj(cfg.projectionDim,
-                          hashCombine(cfg.seed, 0x9e37ULL));
-    auto projected = proj.projectAll(norm);
-
-    auto sampleIdx = strideSample(projected.size(), cfg.sampleCap);
-    std::vector<std::vector<double>> sample;
-    sample.reserve(sampleIdx.size());
-    for (u32 i : sampleIdx)
-        sample.push_back(projected[i]);
+    ClusterInputs in = prepareClusterInputs(bbvs, cfg);
 
     KMeansResult fit =
-        kmeansBestOf(sample, k, hashCombine(cfg.seed, k),
+        kmeansBestOf(in.sample, k, hashCombine(cfg.seed, k),
                      cfg.restarts, cfg.maxIters);
-    SimPointResult out = finalize(fit, projected, sample, cfg);
-    out.sweep.push_back({fit.k, bicScore(fit, sample),
+    SimPointResult out = finalize(fit, in.projected, cfg);
+    out.sweep.push_back({fit.k, bicScore(fit, in.sample),
                          fit.distortion,
-                         fit.avgClusterVariance(sample)});
+                         fit.avgClusterVariance(in.sample)});
     return out;
 }
 

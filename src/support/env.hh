@@ -3,11 +3,16 @@
  * Environment-variable configuration knobs.
  *
  * The bench harness honours:
- *  - SPLAB_SCALE  : multiply all workload lengths by this factor
- *                   (default 1.0; use e.g. 0.1 for a quick smoke run)
- *  - SPLAB_CACHE  : directory for the on-disk artifact cache
- *                   (default "splab_cache" under the CWD; empty
- *                   string disables caching)
+ *  - SPLAB_SCALE   : multiply all workload lengths by this factor
+ *                    (default 1.0; use e.g. 0.1 for a quick smoke run)
+ *  - SPLAB_CACHE   : directory for the on-disk artifact cache
+ *                    (default "splab_cache" under the CWD; empty
+ *                    string disables caching)
+ *  - SPLAB_THREADS : worker threads for the parallel stages (k-sweep,
+ *                    k-means, regional replays); 0 or unset = all
+ *                    hardware threads.  Changes wall time only —
+ *                    results are bit-identical at any thread count
+ *                    (see support/thread_pool.hh).
  */
 
 #ifndef SPLAB_SUPPORT_ENV_HH

@@ -9,9 +9,11 @@
 #include <gtest/gtest.h>
 
 #include "core/pipeline.hh"
+#include "core/runs.hh"
 #include "pin/tools/ldstmix.hh"
 #include "pinball/logger.hh"
 #include "pinball/replayer.hh"
+#include "support/thread_pool.hh"
 #include "workload/suite.hh"
 
 namespace splab
@@ -58,6 +60,105 @@ TEST(Determinism, SimPointSelectionIsReproducible)
         EXPECT_DOUBLE_EQ(a.points[i].weight, b.points[i].weight);
     }
     EXPECT_EQ(a.sliceToCluster, b.sliceToCluster);
+}
+
+/** Serialize a SimPointResult to comparable bytes. */
+std::vector<u8>
+simpointBytes(const SimPointResult &r)
+{
+    ByteWriter w;
+    serializeSimPoints(w, r);
+    return w.bytes();
+}
+
+/** Serialize per-point cache metrics, excluding wall time (the only
+ *  field allowed to vary run to run). */
+std::vector<u8>
+cachePointBytes(const std::vector<PointCacheMetrics> &pts)
+{
+    ByteWriter w;
+    for (const auto &p : pts) {
+        w.put<double>(p.weight);
+        w.put<u64>(p.m.instrs);
+        for (double f : p.m.mixFrac)
+            w.put<double>(f);
+        for (const LevelCounts *lc :
+             {&p.m.l1i, &p.m.l1d, &p.m.l2, &p.m.l3}) {
+            w.put<u64>(lc->accesses);
+            w.put<u64>(lc->misses);
+        }
+        w.put<u64>(p.m.branches);
+    }
+    return w.bytes();
+}
+
+/** Serialize per-point timing metrics, excluding wall time. */
+std::vector<u8>
+timingPointBytes(const std::vector<PointTimingMetrics> &pts)
+{
+    ByteWriter w;
+    for (const auto &p : pts) {
+        w.put<double>(p.weight);
+        w.put<u64>(p.m.instrs);
+        w.put<double>(p.m.cycles);
+        w.put<u64>(p.m.branches);
+        w.put<u64>(p.m.mispredicts);
+        w.put<u64>(p.m.l2Hits);
+        w.put<u64>(p.m.l3Hits);
+        w.put<u64>(p.m.memAccesses);
+    }
+    return w.bytes();
+}
+
+TEST(Determinism, SimPointSelectionThreadCountInvariant)
+{
+    // The determinism contract of support/thread_pool.hh, end to
+    // end: the serialized SimPoint selection must be byte-identical
+    // for SPLAB_THREADS = 1, 2 and 8.
+    BenchmarkSpec spec = benchmarkByName("620.omnetpp_s");
+    spec.totalChunks = 3000;
+    SimPointConfig cfg;
+    cfg.maxK = 8;
+    PinPointsPipeline pipe(cfg, ArtifactCache(""));
+    auto bbvs = pipe.profileBbvs(spec);
+
+    std::vector<std::vector<u8>> blobs;
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        ThreadPool::setGlobalThreads(threads);
+        blobs.push_back(simpointBytes(pickSimPoints(bbvs, cfg)));
+    }
+    ThreadPool::setGlobalThreads(0);
+    ASSERT_FALSE(blobs[0].empty());
+    EXPECT_EQ(blobs[0], blobs[1]);
+    EXPECT_EQ(blobs[0], blobs[2]);
+}
+
+TEST(Determinism, RegionalReplayThreadCountInvariant)
+{
+    // Per-point cache and timing metrics must not depend on how the
+    // regional replays were scheduled across threads.
+    BenchmarkSpec spec = benchmarkByName("557.xz_r");
+    spec.totalChunks = 2000;
+    SimPointConfig cfg;
+    cfg.maxK = 6;
+    PinPointsPipeline pipe(cfg, ArtifactCache(""));
+    SimPointResult sp = pipe.simpoints(spec);
+
+    std::vector<std::vector<u8>> cacheBlobs, timingBlobs;
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        ThreadPool::setGlobalThreads(threads);
+        cacheBlobs.push_back(cachePointBytes(
+            measurePointsCache(spec, sp, tableIConfig(), 2)));
+        timingBlobs.push_back(timingPointBytes(
+            measurePointsTiming(spec, sp, tableIIIMachine(), 2)));
+    }
+    ThreadPool::setGlobalThreads(0);
+    ASSERT_FALSE(cacheBlobs[0].empty());
+    EXPECT_EQ(cacheBlobs[0], cacheBlobs[1]);
+    EXPECT_EQ(cacheBlobs[0], cacheBlobs[2]);
+    ASSERT_FALSE(timingBlobs[0].empty());
+    EXPECT_EQ(timingBlobs[0], timingBlobs[1]);
+    EXPECT_EQ(timingBlobs[0], timingBlobs[2]);
 }
 
 TEST(Determinism, PinballRoundTripPreservesExecution)

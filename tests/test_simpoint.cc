@@ -149,11 +149,15 @@ TEST(KMeans, AssignmentsMatchNearestCentroid)
     auto pts = gaussianBlobs(3, 30, 1.0, 29);
     KMeansResult r = kmeansBestOf(pts, 3, 1, 2);
     for (std::size_t i = 0; i < pts.size(); ++i) {
-        double assigned =
-            squaredDistance(pts[i], r.centroids[r.assignment[i]]);
+        double assigned = squaredDistance(
+            pts[i].data(), r.centroids.row(r.assignment[i]),
+            r.centroids.cols());
         for (u32 c = 0; c < r.k; ++c)
             EXPECT_LE(assigned,
-                      squaredDistance(pts[i], r.centroids[c]) + 1e-9);
+                      squaredDistance(pts[i].data(),
+                                      r.centroids.row(c),
+                                      r.centroids.cols()) +
+                          1e-9);
     }
 }
 
