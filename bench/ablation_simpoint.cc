@@ -69,7 +69,7 @@ main(int, char **argv)
     bench::banner("SimPoint design-choice ablation",
                   "DESIGN.md section 5 (not a paper figure)");
 
-    SuiteRunner runner;
+    SuiteRunner runner(ExperimentConfig::paperDefaults());
     TableWriter t("Ablation - 8-benchmark averages per config");
     t.header({"Config", "Points", "Points@90%", "Mix err"});
     CsvWriter csv;

@@ -21,7 +21,7 @@ main(int, char **argv)
     bench::banner("Benchmark-suite subsetting",
                   "Related work, Section V-A (extension)");
 
-    SuiteRunner runner;
+    SuiteRunner runner(ExperimentConfig::paperDefaults());
     std::vector<BenchmarkFeatures> features;
     for (const auto &e : suiteTable())
         features.push_back(makeFeatures(e.name,

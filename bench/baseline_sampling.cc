@@ -22,7 +22,7 @@ main(int, char **argv)
     bench::banner("SimPoint vs systematic vs random sampling",
                   "Section V-B baselines (extension)");
 
-    SuiteRunner runner;
+    SuiteRunner runner(ExperimentConfig::paperDefaults());
     TableWriter t("Sampling accuracy at equal region budget "
                   "(suite averages)");
     t.header({"Strategy", "Mix err (pts)", "L1D err", "L3 err",

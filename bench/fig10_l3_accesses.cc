@@ -19,7 +19,7 @@ main(int, char **argv)
     bench::banner("L3 accesses: Whole vs Regional vs Reduced",
                   "Figure 10");
 
-    SuiteRunner runner;
+    SuiteRunner runner(ExperimentConfig::paperDefaults());
     TableWriter t("Fig 10 - L3 cache accesses");
     t.header({"Benchmark", "Whole Run", "Regional", "Reduced",
               "Whole/Regional"});

@@ -20,7 +20,7 @@ main(int, char **argv)
     bench::banner("CPI: native (perf) vs Sniper with SimPoints",
                   "Figure 12");
 
-    SuiteRunner runner;
+    SuiteRunner runner(ExperimentConfig::paperDefaults());
     TableWriter t("Fig 12 - CPI comparison");
     t.header({"Benchmark", "Native (perf)", "Sniper Regional",
               "Sniper Reduced", "err R", "err RR"});

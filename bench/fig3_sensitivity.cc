@@ -66,7 +66,7 @@ main(int, char **argv)
     bench::banner("MaxK and slice-size sensitivity (xalancbmk_s)",
                   "Figure 3(a) and 3(b)");
 
-    SuiteRunner runner;
+    SuiteRunner runner(ExperimentConfig::paperDefaults());
     const std::string name = "623.xalancbmk_s";
     const BenchmarkSpec &spec = runner.spec(name);
     const HierarchyConfig caches = tableIConfig();

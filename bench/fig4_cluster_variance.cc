@@ -18,7 +18,7 @@ main(int, char **argv)
     bench::banner("Within-cluster variance vs number of clusters",
                   "Figure 4");
 
-    SuiteRunner runner;
+    SuiteRunner runner(ExperimentConfig::paperDefaults());
     const u32 kPoints[] = {5, 10, 15, 20, 25, 30, 35};
 
     TableWriter t("Fig 4 - avg cluster variance (x1000) by #clusters");

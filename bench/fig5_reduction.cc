@@ -21,17 +21,25 @@ main(int, char **argv)
     bench::banner("Whole vs Regional vs Reduced Regional runs",
                   "Figure 5(a) instruction count, 5(b) time");
 
-    SuiteRunner runner;
-    ReplayCostModel cost;
+    SuiteRunner runner(ExperimentConfig::paperDefaults());
+    ReplayCostModel cost = runner.config().cost;
 
-    TableWriter t("Fig 5 - run sizes and paper-equivalent times");
-    t.header({"Benchmark", "Whole (instr)", "Regional", "Reduced",
-              "I-ratio R", "I-ratio RR", "Whole time", "Regional",
-              "Reduced", "T-ratio R", "T-ratio RR"});
-    CsvWriter csv;
-    csv.header({"benchmark", "whole_instrs", "regional_instrs",
-                "reduced_instrs", "whole_hours", "regional_min",
-                "reduced_min", "wall_whole_s", "wall_regional_s"});
+    bench::ReportSink sink(
+        argv[0], "Fig 5 - run sizes and paper-equivalent times");
+    sink.schema({{"Benchmark", "benchmark"},
+                 {"Whole (instr)", "whole_instrs"},
+                 {"Regional", "regional_instrs"},
+                 {"Reduced", "reduced_instrs"},
+                 {"I-ratio R", ""},
+                 {"I-ratio RR", ""},
+                 {"Whole time", "whole_hours"},
+                 {"Regional", "regional_min"},
+                 {"Reduced", "reduced_min"},
+                 {"T-ratio R", ""},
+                 {"T-ratio RR", ""},
+                 {"", "wall_whole_s", /*wallClock=*/true},
+                 {"", "wall_regional_s", /*wallClock=*/true}});
+    runner.config().describe(sink.manifest());
 
     double sumIW = 0, sumIR = 0, sumIRR = 0;
     double sumTW = 0, sumTR = 0, sumTRR = 0;
@@ -62,22 +70,23 @@ main(int, char **argv)
         double tRR = cost.regionalSeconds(
             static_cast<double>(rr) * paperScale, reduced.size());
 
-        t.row({e.name, fmtSi(static_cast<double>(whole), 1),
-               fmtSi(static_cast<double>(regional), 1),
-               fmtSi(static_cast<double>(rr), 1),
-               fmtX(static_cast<double>(whole) /
-                    static_cast<double>(regional)),
-               fmtX(static_cast<double>(whole) /
-                    static_cast<double>(rr)),
-               fmt(tW / 3600.0, 1) + " h", fmt(tR / 60.0, 1) + " m",
-               fmt(tRR / 60.0, 1) + " m", fmtX(tW / tR),
-               fmtX(tW / tRR)});
-        csv.row({e.name, std::to_string(whole),
-                 std::to_string(regional), std::to_string(rr),
-                 fmt(tW / 3600.0, 3), fmt(tR / 60.0, 3),
-                 fmt(tRR / 60.0, 3),
-                 fmt(runner.wholeCache(e.name).wallSeconds, 3),
-                 fmt(wallR, 3)});
+        sink.row(
+            {e.name,
+             {fmtSi(static_cast<double>(whole), 1),
+              std::to_string(whole)},
+             {fmtSi(static_cast<double>(regional), 1),
+              std::to_string(regional)},
+             {fmtSi(static_cast<double>(rr), 1), std::to_string(rr)},
+             fmtX(static_cast<double>(whole) /
+                  static_cast<double>(regional)),
+             fmtX(static_cast<double>(whole) /
+                  static_cast<double>(rr)),
+             {fmt(tW / 3600.0, 1) + " h", fmt(tW / 3600.0, 3)},
+             {fmt(tR / 60.0, 1) + " m", fmt(tR / 60.0, 3)},
+             {fmt(tRR / 60.0, 1) + " m", fmt(tRR / 60.0, 3)},
+             fmtX(tW / tR), fmtX(tW / tRR),
+             fmt(runner.wholeCache(e.name).wallSeconds, 3),
+             fmt(wallR, 3)});
         sumIW += static_cast<double>(whole);
         sumIR += static_cast<double>(regional);
         sumIRR += static_cast<double>(rr);
@@ -86,14 +95,15 @@ main(int, char **argv)
         sumTRR += tRR;
     }
     double n = static_cast<double>(suiteTable().size());
-    t.separator();
-    t.row({"Average", fmtSi(sumIW / n, 1), fmtSi(sumIR / n, 1),
-           fmtSi(sumIRR / n, 1), fmtX(sumIW / sumIR),
-           fmtX(sumIW / sumIRR), fmt(sumTW / n / 3600.0, 1) + " h",
-           fmt(sumTR / n / 60.0, 1) + " m",
-           fmt(sumTRR / n / 60.0, 1) + " m", fmtX(sumTW / sumTR),
-           fmtX(sumTW / sumTRR)});
-    t.print();
+    sink.separator();
+    sink.tableOnlyRow(
+        {"Average", fmtSi(sumIW / n, 1), fmtSi(sumIR / n, 1),
+         fmtSi(sumIRR / n, 1), fmtX(sumIW / sumIR),
+         fmtX(sumIW / sumIRR), fmt(sumTW / n / 3600.0, 1) + " h",
+         fmt(sumTR / n / 60.0, 1) + " m",
+         fmt(sumTRR / n / 60.0, 1) + " m", fmtX(sumTW / sumTR),
+         fmtX(sumTW / sumTRR)});
+    sink.finish();
 
     std::printf("\nPaper: ~650x fewer instructions / ~750x less time "
                 "(Regional); ~1225x / ~1297x (Reduced).\n"
@@ -101,6 +111,5 @@ main(int, char **argv)
                 "(Reduced).\n",
                 sumIW / sumIR, sumTW / sumTR, sumIW / sumIRR,
                 sumTW / sumTRR);
-    bench::saveCsv(csv, argv[0]);
     return 0;
 }

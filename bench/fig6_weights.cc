@@ -18,7 +18,7 @@ main(int, char **argv)
 {
     bench::banner("Simulation-point weight distribution", "Figure 6");
 
-    SuiteRunner runner;
+    SuiteRunner runner(ExperimentConfig::paperDefaults());
     TableWriter t("Fig 6 - per-benchmark weight profile");
     t.header({"Benchmark", "Points", "Top-1", "Top-3 cum",
               "90% cut at", "Weights (descending, top 8)"});

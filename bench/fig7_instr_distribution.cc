@@ -19,7 +19,7 @@ main(int, char **argv)
     bench::banner("Instruction distribution: Whole vs Regional vs "
                   "Reduced Regional", "Figure 7");
 
-    SuiteRunner runner;
+    SuiteRunner runner(ExperimentConfig::paperDefaults());
     TableWriter t("Fig 7 - instruction mix (NO_MEM/MEM_R/MEM_W/"
                   "MEM_RW, % of instructions)");
     t.header({"Benchmark", "Whole", "Regional", "Reduced",

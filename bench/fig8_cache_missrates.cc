@@ -22,13 +22,24 @@ main(int, char **argv)
     bench::banner("Cache miss rates: Whole / Regional / Reduced / "
                   "Warmup", "Figure 8(a)-(d)");
 
-    SuiteRunner runner;
-    TableWriter t("Fig 8 - miss rates (L1D | L2 | L3, %)");
-    t.header({"Benchmark", "Whole", "Regional", "Reduced",
-              "Warmup Regional"});
-    CsvWriter csv;
-    csv.header({"benchmark", "run", "l1d_miss", "l2_miss",
-                "l3_miss"});
+    SuiteRunner runner(ExperimentConfig::paperDefaults());
+    // Table rows are per-benchmark with combined "L1D | L2 | L3"
+    // cells; CSV rows are per-(benchmark, run) with raw rates — the
+    // two halves of the schema do not align, so rows go through the
+    // table-only/CSV-only escape hatches.
+    bench::ReportSink sink(argv[0],
+                           "Fig 8 - miss rates (L1D | L2 | L3, %)");
+    sink.schema({{"Benchmark", ""},
+                 {"Whole", ""},
+                 {"Regional", ""},
+                 {"Reduced", ""},
+                 {"Warmup Regional", ""},
+                 {"", "benchmark"},
+                 {"", "run"},
+                 {"", "l1d_miss"},
+                 {"", "l2_miss"},
+                 {"", "l3_miss"}});
+    runner.config().describe(sink.manifest());
 
     auto cell = [](const AggregateCacheMetrics &m) {
         return fmt(m.l1dMissRate * 100, 1) + " | " +
@@ -37,8 +48,8 @@ main(int, char **argv)
     };
     auto csvRow = [&](const std::string &b, const char *run,
                       const AggregateCacheMetrics &m) {
-        csv.row({b, run, fmt(m.l1dMissRate, 6), fmt(m.l2MissRate, 6),
-                 fmt(m.l3MissRate, 6)});
+        sink.csvOnlyRow({b, run, fmt(m.l1dMissRate, 6),
+                         fmt(m.l2MissRate, 6), fmt(m.l3MissRate, 6)});
     };
 
     // Suite-average relative errors vs the whole run.
@@ -52,8 +63,8 @@ main(int, char **argv)
             SuiteRunner::reduceToQuantile(cold, 0.9));
         auto warm = aggregateCache(runner.pointsCacheWarm(e.name));
 
-        t.row({e.name, cell(whole), cell(regional), cell(reduced),
-               cell(warm)});
+        sink.tableOnlyRow({e.name, cell(whole), cell(regional),
+                           cell(reduced), cell(warm)});
         csvRow(e.name, "whole", whole);
         csvRow(e.name, "regional", regional);
         csvRow(e.name, "reduced", reduced);
@@ -76,7 +87,7 @@ main(int, char **argv)
         }
         n += 1.0;
     }
-    t.print();
+    sink.printTable();
 
     TableWriter s("Fig 8 summary - average relative miss-rate error "
                   "vs Whole Run");
@@ -93,6 +104,6 @@ main(int, char **argv)
                 "(cold-start effect) and warm-up\ncollapses the L3 "
                 "error; paper 25.16%% -> 9.08%%, measured %.2f%% -> "
                 "%.2f%%.\n", errR[2] / n * 100, errW[2] / n * 100);
-    bench::saveCsv(csv, argv[0]);
+    sink.finish();
     return 0;
 }

@@ -19,7 +19,7 @@ main(int, char **argv)
     bench::banner("Accuracy/runtime trade-off vs simulation-point "
                   "percentile", "Figure 9");
 
-    SuiteRunner runner;
+    SuiteRunner runner(ExperimentConfig::paperDefaults());
     ReplayCostModel cost;
     const double percentiles[] = {1.0, 0.9, 0.8, 0.7, 0.6, 0.5};
 

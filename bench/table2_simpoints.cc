@@ -18,14 +18,15 @@ main(int, char **argv)
     bench::banner("SPEC CPU2017 simulation points",
                   "Table II (MaxK = 35, slice = 30M-equivalent)");
 
-    SuiteRunner runner;
-    TableWriter table("Table II - SPEC CPU2017 Simulation Points");
-    table.header({"Benchmark", "Simulation Points",
-                  "90-pct Simulation Points", "Paper SP",
-                  "Paper 90-pct"});
-    CsvWriter csv;
-    csv.header({"benchmark", "simpoints", "simpoints90", "paper_sp",
-                "paper_sp90"});
+    SuiteRunner runner(ExperimentConfig::paperDefaults());
+    bench::ReportSink sink(
+        argv[0], "Table II - SPEC CPU2017 Simulation Points");
+    sink.schema({{"Benchmark", "benchmark"},
+                 {"Simulation Points", "simpoints"},
+                 {"90-pct Simulation Points", "simpoints90"},
+                 {"Paper SP", "paper_sp"},
+                 {"Paper 90-pct", "paper_sp90"}});
+    runner.config().describe(sink.manifest());
 
     double sumSp = 0.0, sumSp90 = 0.0;
     double paperSp = 0.0, paperSp90 = 0.0;
@@ -33,25 +34,21 @@ main(int, char **argv)
         const SimPointResult &r = runner.simpoints(e.name);
         std::size_t n = r.points.size();
         std::size_t n90 = r.topByWeight(0.9).size();
-        table.row({e.name, std::to_string(n), std::to_string(n90),
-                   std::to_string(e.simPoints),
-                   std::to_string(e.points90)});
-        csv.row({e.name, std::to_string(n), std::to_string(n90),
-                 std::to_string(e.simPoints),
-                 std::to_string(e.points90)});
+        sink.row({e.name, std::to_string(n), std::to_string(n90),
+                  std::to_string(e.simPoints),
+                  std::to_string(e.points90)});
         sumSp += static_cast<double>(n);
         sumSp90 += static_cast<double>(n90);
         paperSp += e.simPoints;
         paperSp90 += e.points90;
     }
     double n = static_cast<double>(suiteTable().size());
-    table.separator();
-    table.row({"Average", fmt(sumSp / n), fmt(sumSp90 / n),
-               fmt(paperSp / n), fmt(paperSp90 / n)});
-    table.print();
+    sink.separator();
+    sink.tableOnlyRow({"Average", fmt(sumSp / n), fmt(sumSp90 / n),
+                       fmt(paperSp / n), fmt(paperSp90 / n)});
+    sink.finish();
 
     std::printf("\nPaper: 19.75 / 11.31 average simulation points; "
                 "measured: %.2f / %.2f\n", sumSp / n, sumSp90 / n);
-    bench::saveCsv(csv, argv[0]);
     return 0;
 }

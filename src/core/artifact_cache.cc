@@ -2,13 +2,67 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <mutex>
+#include <set>
 
+#include "obs/counters.hh"
 #include "support/env.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 
 namespace splab
 {
+
+namespace
+{
+
+/**
+ * True when @p dir accepts new files.  std::filesystem permission
+ * bits are not enough (root, ACLs, read-only mounts), so probe by
+ * actually creating and removing a scratch file.
+ */
+bool
+dirIsWritable(const std::string &dir)
+{
+    std::string probe = dir + "/.splab-write-probe";
+    std::FILE *f = std::fopen(probe.c_str(), "wb");
+    if (!f)
+        return false;
+    std::fclose(f);
+    std::error_code ec;
+    std::filesystem::remove(probe, ec);
+    return true;
+}
+
+/** Warn about an unusable cache dir only once per directory. */
+void
+warnOnce(const std::string &dir, const char *why)
+{
+    static std::mutex mtx;
+    static std::set<std::string> warned;
+    std::lock_guard<std::mutex> g(mtx);
+    if (!warned.insert(dir).second)
+        return;
+    SPLAB_WARN("cache dir ", dir, ": ", why, "; caching disabled");
+}
+
+} // namespace
+
+const char *
+cacheStatusName(CacheStatus s)
+{
+    switch (s) {
+      case CacheStatus::Hit:
+        return "hit";
+      case CacheStatus::Miss:
+        return "miss";
+      case CacheStatus::Corrupt:
+        return "corrupt";
+      case CacheStatus::Disabled:
+        return "disabled";
+    }
+    return "unknown";
+}
 
 ArtifactCache::ArtifactCache(std::string dir) : root(std::move(dir))
 {
@@ -17,8 +71,12 @@ ArtifactCache::ArtifactCache(std::string dir) : root(std::move(dir))
     std::error_code ec;
     std::filesystem::create_directories(root, ec);
     if (ec) {
-        SPLAB_WARN("cannot create cache dir ", root, ": ",
-                   ec.message(), "; caching disabled");
+        warnOnce(root, "cannot create");
+        root.clear();
+        return;
+    }
+    if (!dirIsWritable(root)) {
+        warnOnce(root, "not writable");
         root.clear();
     }
 }
@@ -39,15 +97,49 @@ ArtifactCache::path(const std::string &kind, u64 key) const
     return root + "/" + kind + "-" + hex + ".bin";
 }
 
-std::optional<ByteReader>
+CacheOutcome
 ArtifactCache::load(const std::string &kind, u64 key) const
 {
-    if (!enabled())
-        return std::nullopt;
+    static obs::Counter &hits =
+        obs::counter("artifact_cache.hits", "cache lookups served");
+    static obs::Counter &misses =
+        obs::counter("artifact_cache.misses",
+                     "cache lookups with no blob");
+    static obs::Counter &corrupt =
+        obs::counter("artifact_cache.corrupt",
+                     "cache blobs failing checksum validation");
+    static obs::Counter &disabled =
+        obs::counter("artifact_cache.disabled_lookups",
+                     "cache lookups while disabled");
+    static obs::Counter &bytesRead =
+        obs::counter("artifact_cache.bytes_read",
+                     "bytes loaded from cache blobs");
+
+    CacheOutcome out;
+    if (!enabled()) {
+        disabled.add();
+        out.status = CacheStatus::Disabled;
+        return out;
+    }
     std::string p = path(kind, key);
-    if (!ByteReader::probeFile(p))
-        return std::nullopt;
-    return ByteReader::loadFile(p);
+    if (!ByteReader::probeFile(p)) {
+        std::error_code ec;
+        if (std::filesystem::exists(p, ec) && !ec) {
+            corrupt.add();
+            SPLAB_WARN("corrupt cache blob ", p,
+                       "; recomputing artifact");
+            out.status = CacheStatus::Corrupt;
+        } else {
+            misses.add();
+            out.status = CacheStatus::Miss;
+        }
+        return out;
+    }
+    out.blob = ByteReader::loadFile(p);
+    hits.add();
+    bytesRead.add(out.blob->remaining());
+    out.status = CacheStatus::Hit;
+    return out;
 }
 
 void
@@ -57,8 +149,13 @@ ArtifactCache::store(const std::string &kind, u64 key,
     if (!enabled())
         return;
     std::string p = path(kind, key);
-    if (!blob.saveFile(p))
+    if (!blob.saveFile(p)) {
         SPLAB_WARN("cannot write cache artifact ", p);
+        return;
+    }
+    obs::counter("artifact_cache.bytes_written",
+                 "bytes stored into cache blobs")
+        .add(blob.bytes().size());
 }
 
 } // namespace splab

@@ -6,6 +6,12 @@
  * whole-run cache simulations, timing runs) across processes through
  * checksummed blobs keyed by content hashes.  Set SPLAB_CACHE="" to
  * disable, or point it at a directory of your choice.
+ *
+ * Lookups return a typed CacheOutcome so callers (and the obs
+ * counters) can distinguish a genuine miss from a corrupt blob or a
+ * disabled cache.  A directory that exists but cannot be written is
+ * detected up front, warned about once, and degrades the cache to
+ * disabled instead of silently failing every store.
  */
 
 #ifndef SPLAB_CORE_ARTIFACT_CACHE_HH
@@ -18,6 +24,30 @@
 
 namespace splab
 {
+
+/** What a cache lookup found. */
+enum class CacheStatus
+{
+    Hit,      ///< blob present and checksum-valid
+    Miss,     ///< no blob under this key
+    Corrupt,  ///< blob present but truncated or checksum-invalid
+    Disabled, ///< cache off (SPLAB_CACHE empty or dir unusable)
+};
+
+/** Stable lower-case name ("hit", "miss", ...). */
+const char *cacheStatusName(CacheStatus s);
+
+/** Result of ArtifactCache::load: a status plus the blob on a hit. */
+struct CacheOutcome
+{
+    CacheStatus status = CacheStatus::Disabled;
+    std::optional<ByteReader> blob;
+
+    bool hit() const { return status == CacheStatus::Hit; }
+    explicit operator bool() const { return hit(); }
+    ByteReader &operator*() { return *blob; }
+    ByteReader *operator->() { return &*blob; }
+};
 
 /** Content-addressed blob store under one directory. */
 class ArtifactCache
@@ -36,8 +66,7 @@ class ArtifactCache
      * @param kind artifact family, e.g. "simpoints"
      * @param key  content hash of everything the artifact depends on
      */
-    std::optional<ByteReader> load(const std::string &kind,
-                                   u64 key) const;
+    CacheOutcome load(const std::string &kind, u64 key) const;
 
     /** Store a blob (no-op when disabled). */
     void store(const std::string &kind, u64 key,
@@ -47,7 +76,7 @@ class ArtifactCache
      * Version salt mixed into every key; bump when serialized
      * layouts or producing algorithms change.
      */
-    static constexpr u64 kVersionSalt = 0x53504c41422d7633ULL;
+    static constexpr u64 kVersionSalt = 0x53504c41422d7634ULL;
 
   private:
     std::string path(const std::string &kind, u64 key) const;

@@ -1,7 +1,9 @@
 #include "experiments.hh"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "obs/trace.hh"
 #include "support/logging.hh"
 
 namespace splab
@@ -25,10 +27,10 @@ bool
 loadPods(const ArtifactCache &cache, const std::string &kind, u64 key,
          std::vector<T> &out)
 {
-    auto blob = cache.load(kind, key);
-    if (!blob)
+    CacheOutcome r = cache.load(kind, key);
+    if (!r.hit())
         return false;
-    out = blob->getVector<T>();
+    out = r->getVector<T>();
     return true;
 }
 
@@ -47,14 +49,45 @@ bool
 loadPod(const ArtifactCache &cache, const std::string &kind, u64 key,
         T &out)
 {
-    auto blob = cache.load(kind, key);
-    if (!blob)
+    CacheOutcome r = cache.load(kind, key);
+    if (!r.hit())
         return false;
-    out = blob->get<T>();
+    out = r->get<T>();
     return true;
 }
 
 } // namespace
+
+void
+ExperimentConfig::describe(obs::RunManifest &m) const
+{
+    m.setConfig("simpoint.max_k", simpoint.maxK);
+    m.setConfig("simpoint.slice_instrs", u64{simpoint.sliceInstrs});
+    m.setConfig("simpoint.projection_dim", simpoint.projectionDim);
+    m.setConfig("simpoint.bic_fraction", simpoint.bicFraction);
+    m.setConfig("simpoint.restarts", simpoint.restarts);
+    m.setConfig("simpoint.max_iters", simpoint.maxIters);
+    m.setConfig("simpoint.sample_cap", simpoint.sampleCap);
+    m.setConfig("simpoint.merge_threshold", simpoint.mergeThreshold);
+    m.setConfig("simpoint.seed", simpoint.seed);
+    m.setConfig("warmup_chunks", warmupChunks);
+    auto level = [&](const char *name, const CacheParams &p) {
+        std::string base = std::string("allcache.") + name;
+        m.setConfig(base + ".size_bytes", p.sizeBytes);
+        m.setConfig(base + ".ways", p.ways);
+        m.setConfig(base + ".line_bytes", p.lineBytes);
+    };
+    level("l1i", allcache.l1i);
+    level("l1d", allcache.l1d);
+    level("l2", allcache.l2);
+    level("l3", allcache.l3);
+    m.setConfig("machine.model", machine.model);
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "0x%016llx",
+                  static_cast<unsigned long long>(
+                      machine.contentHash()));
+    m.setConfig("machine.content_hash", hex);
+}
 
 SuiteRunner::SuiteRunner(ExperimentConfig cfg)
     : cfg(cfg), cache(ArtifactCache::fromEnv()),
@@ -101,6 +134,7 @@ SuiteRunner::simpoints(const std::string &name)
 {
     PerBench &s = slot(name);
     if (!s.haveSimpoints) {
+        obs::TraceSpan span("suite.simpoints");
         s.simpoints = pipe.simpoints(spec(name));
         s.haveSimpoints = true;
     }
@@ -112,6 +146,7 @@ SuiteRunner::wholeCache(const std::string &name)
 {
     PerBench &s = slot(name);
     if (!s.haveWholeCache) {
+        obs::TraceSpan span("suite.whole_cache");
         u64 key = benchKey(name, 0xca11ULL);
         if (!loadPod(cache, "wholecache", key, s.wholeCache)) {
             SPLAB_INFORM("whole-run cache simulation: ", name);
@@ -128,6 +163,7 @@ SuiteRunner::pointsCacheCold(const std::string &name)
 {
     PerBench &s = slot(name);
     if (!s.havePointsCold) {
+        obs::TraceSpan span("suite.points_cache_cold");
         u64 key = benchKey(name, 0xc01dULL);
         if (!loadPods(cache, "pointscold", key, s.pointsCold)) {
             SPLAB_INFORM("regional cache replays (cold): ", name);
@@ -145,6 +181,7 @@ SuiteRunner::pointsCacheWarm(const std::string &name)
 {
     PerBench &s = slot(name);
     if (!s.havePointsWarm) {
+        obs::TraceSpan span("suite.points_cache_warm");
         u64 key = benchKey(name, 0x3a73ULL);
         if (!loadPods(cache, "pointswarm", key, s.pointsWarm)) {
             SPLAB_INFORM("regional cache replays (warmup): ", name);
@@ -163,6 +200,7 @@ SuiteRunner::wholeTiming(const std::string &name)
 {
     PerBench &s = slot(name);
     if (!s.haveWholeTiming) {
+        obs::TraceSpan span("suite.whole_timing");
         u64 key = benchKey(name, 0x71113ULL);
         if (!loadPod(cache, "wholetiming", key, s.wholeTiming)) {
             SPLAB_INFORM("whole-run timing simulation: ", name);
@@ -179,6 +217,7 @@ SuiteRunner::native(const std::string &name)
 {
     PerBench &s = slot(name);
     if (!s.haveNative) {
+        obs::TraceSpan span("suite.native");
         u64 key = benchKey(name, 0x9e2fULL);
         if (!loadPod(cache, "native", key, s.nativeCounters)) {
             SPLAB_INFORM("native (perf) run: ", name);
@@ -197,6 +236,7 @@ SuiteRunner::pointsTiming(const std::string &name)
 {
     PerBench &s = slot(name);
     if (!s.havePointsTiming) {
+        obs::TraceSpan span("suite.points_timing");
         u64 key = benchKey(name, 0x5a1b3ULL);
         if (!loadPods(cache, "pointstiming", key, s.pointsTiming)) {
             SPLAB_INFORM("regional timing replays: ", name);

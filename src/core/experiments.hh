@@ -17,6 +17,7 @@
 #include <string>
 
 #include "costmodel.hh"
+#include "obs/manifest.hh"
 #include "pipeline.hh"
 #include "runs.hh"
 #include "scale.hh"
@@ -25,7 +26,19 @@
 namespace splab
 {
 
-/** Everything a suite-wide experiment can be configured with. */
+/**
+ * Everything a suite-wide experiment can be configured with.
+ *
+ * Build configurations with the fluent interface:
+ *
+ *     SuiteRunner runner(ExperimentConfig::paperDefaults()
+ *                            .withWarmupChunks(60)
+ *                            .withMaxK(20));
+ *
+ * The public fields remain for existing code (aggregate
+ * initialization, direct pokes) but are a deprecated spelling; new
+ * code should go through paperDefaults() + with*().
+ */
 struct ExperimentConfig
 {
     SimPointConfig simpoint;                      ///< MaxK 35, 30M-eq
@@ -47,6 +60,64 @@ struct ExperimentConfig
      */
     u64 warmupChunks = 120;
     ReplayCostModel cost;
+
+    /** The paper's operating point (Table I/III at model scale). */
+    static ExperimentConfig paperDefaults() { return {}; }
+
+    /// @name Fluent setters; each returns *this for chaining.
+    /// @{
+    ExperimentConfig &
+    withSimPoint(SimPointConfig c)
+    {
+        simpoint = c;
+        return *this;
+    }
+    ExperimentConfig &
+    withMaxK(u32 k)
+    {
+        simpoint.maxK = k;
+        return *this;
+    }
+    ExperimentConfig &
+    withSliceInstrs(ICount n)
+    {
+        simpoint.sliceInstrs = n;
+        return *this;
+    }
+    ExperimentConfig &
+    withSeed(u64 s)
+    {
+        simpoint.seed = s;
+        return *this;
+    }
+    ExperimentConfig &
+    withAllcache(HierarchyConfig h)
+    {
+        allcache = h;
+        return *this;
+    }
+    ExperimentConfig &
+    withMachine(MachineConfig m)
+    {
+        machine = m;
+        return *this;
+    }
+    ExperimentConfig &
+    withWarmupChunks(u64 n)
+    {
+        warmupChunks = n;
+        return *this;
+    }
+    ExperimentConfig &
+    withCost(ReplayCostModel c)
+    {
+        cost = c;
+        return *this;
+    }
+    /// @}
+
+    /** Dump the configuration into a run manifest. */
+    void describe(obs::RunManifest &m) const;
 };
 
 /** Lazy, cached access to per-benchmark experiment artifacts. */

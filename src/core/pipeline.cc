@@ -1,5 +1,6 @@
 #include "pipeline.hh"
 
+#include "obs/trace.hh"
 #include "pin/engine.hh"
 #include "pin/tools/bbv_tool.hh"
 #include "pinball/logger.hh"
@@ -9,15 +10,34 @@
 namespace splab
 {
 
+// SimPoint and KSweepEntry carry internal padding (a u32 member
+// followed by an 8-byte one), so they must be serialized field by
+// field: memcpying the whole struct (putVector) would emit the
+// uninitialized padding bytes and break byte-level reproducibility
+// of cached blobs and manifests.
+
 void
 serializeSimPoints(ByteWriter &w, const SimPointResult &r)
 {
     w.put<u32>(r.chosenK);
     w.put<u64>(r.totalSlices);
     w.put<u64>(r.sliceInstrs);
-    w.putVector(r.points);
+    w.put<u64>(r.points.size());
+    for (const SimPoint &p : r.points) {
+        w.put<u64>(p.slice);
+        w.put<double>(p.weight);
+        w.put<u32>(p.cluster);
+        w.put<u64>(p.clusterSize);
+        w.put<double>(p.variance);
+    }
     w.putVector(r.sliceToCluster);
-    w.putVector(r.sweep);
+    w.put<u64>(r.sweep.size());
+    for (const KSweepEntry &e : r.sweep) {
+        w.put<u32>(e.k);
+        w.put<double>(e.bic);
+        w.put<double>(e.distortion);
+        w.put<double>(e.avgClusterVariance);
+    }
 }
 
 SimPointResult
@@ -27,9 +47,22 @@ deserializeSimPoints(ByteReader &r)
     res.chosenK = r.get<u32>();
     res.totalSlices = r.get<u64>();
     res.sliceInstrs = r.get<u64>();
-    res.points = r.getVector<SimPoint>();
+    res.points.resize(r.get<u64>());
+    for (SimPoint &p : res.points) {
+        p.slice = r.get<u64>();
+        p.weight = r.get<double>();
+        p.cluster = r.get<u32>();
+        p.clusterSize = r.get<u64>();
+        p.variance = r.get<double>();
+    }
     res.sliceToCluster = r.getVector<u32>();
-    res.sweep = r.getVector<KSweepEntry>();
+    res.sweep.resize(r.get<u64>());
+    for (KSweepEntry &e : res.sweep) {
+        e.k = r.get<u32>();
+        e.bic = r.get<double>();
+        e.distortion = r.get<double>();
+        e.avgClusterVariance = r.get<double>();
+    }
     return res;
 }
 
@@ -42,6 +75,7 @@ PinPointsPipeline::PinPointsPipeline(SimPointConfig cfg,
 std::vector<FrequencyVector>
 PinPointsPipeline::profileBbvs(const BenchmarkSpec &spec) const
 {
+    obs::TraceSpan span("pipeline.profile_bbvs");
     SyntheticWorkload wl(spec);
     BbvTool bbv(cfg.sliceInstrs);
     Engine engine;
@@ -56,8 +90,9 @@ PinPointsPipeline::computeOrLoad(const BenchmarkSpec &spec,
 {
     u64 key = hashCombine(
         hashCombine(spec.contentHash(), cfg.contentHash()), forcedK);
-    if (auto blob = cache.load("simpoints", key))
-        return deserializeSimPoints(*blob);
+    CacheOutcome cached = cache.load("simpoints", key);
+    if (cached.hit())
+        return deserializeSimPoints(*cached);
 
     SPLAB_VERBOSE("profiling + clustering ", spec.name,
                   forcedK ? " (forced k)" : "");

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/counters.hh"
+#include "obs/trace.hh"
 #include "pin/engine.hh"
 #include "pin/tools/allcache.hh"
 #include "pin/tools/branch_profile.hh"
@@ -69,6 +71,7 @@ CacheRunMetrics
 measureWholeCache(const BenchmarkSpec &spec,
                   const HierarchyConfig &caches)
 {
+    obs::TraceSpan span("runs.whole_cache");
     auto t0 = std::chrono::steady_clock::now();
     SyntheticWorkload wl(spec);
     AllCacheTool cache(caches);
@@ -88,6 +91,7 @@ measurePointsCache(const BenchmarkSpec &spec,
                    const SimPointResult &simpoints,
                    const HierarchyConfig &caches, u64 warmupChunks)
 {
+    obs::TraceSpan span("runs.points_cache");
     SyntheticWorkload wl(spec);
     Pinball whole = Logger::captureWhole(wl);
     Pinball regional = Logger::makeRegional(whole, simpoints);
@@ -98,7 +102,12 @@ measurePointsCache(const BenchmarkSpec &spec,
     // replayer, workload and tool stack, and results land in
     // index-addressed slots.
     std::vector<PointCacheMetrics> out(regional.regions().size());
+    static obs::Counter &points =
+        obs::counter("runs.points_replayed",
+                     "simulation points replayed (cache + timing)");
     parallelFor(regional.regions().size(), [&](std::size_t i) {
+        obs::TraceSpan pointSpan("runs.replay_point");
+        points.add();
         auto tp = std::chrono::steady_clock::now();
         Replayer replayer(regional);
         AllCacheTool cache(caches);
@@ -132,6 +141,7 @@ TimingRunMetrics
 measureWholeTiming(const BenchmarkSpec &spec,
                    const MachineConfig &machine)
 {
+    obs::TraceSpan span("runs.whole_timing");
     auto t0 = std::chrono::steady_clock::now();
     SyntheticWorkload wl(spec);
     IntervalCoreTool core(machine);
@@ -146,6 +156,7 @@ measurePointsTiming(const BenchmarkSpec &spec,
                     const SimPointResult &simpoints,
                     const MachineConfig &machine, u64 warmupChunks)
 {
+    obs::TraceSpan span("runs.points_timing");
     SyntheticWorkload wl(spec);
     Pinball whole = Logger::captureWhole(wl);
     Pinball regional = Logger::makeRegional(whole, simpoints);
@@ -153,7 +164,12 @@ measurePointsTiming(const BenchmarkSpec &spec,
     // Cold core per point; see measurePointsCache for the
     // parallel-replay invariants.
     std::vector<PointTimingMetrics> out(regional.regions().size());
+    static obs::Counter &points =
+        obs::counter("runs.points_replayed",
+                     "simulation points replayed (cache + timing)");
     parallelFor(regional.regions().size(), [&](std::size_t i) {
+        obs::TraceSpan pointSpan("runs.replay_point");
+        points.add();
         auto tp = std::chrono::steady_clock::now();
         Replayer replayer(regional);
         IntervalCoreTool core(machine);

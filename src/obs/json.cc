@@ -1,0 +1,519 @@
+#include "json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace splab
+{
+namespace obs
+{
+
+JsonValue
+JsonValue::boolean(bool b)
+{
+    JsonValue v;
+    v.valueKind = Kind::Bool;
+    v.boolVal = b;
+    return v;
+}
+
+JsonValue
+JsonValue::number(double d)
+{
+    return rawNumber(formatDouble(d));
+}
+
+JsonValue
+JsonValue::number(u64 n)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(n));
+    return rawNumber(buf);
+}
+
+JsonValue
+JsonValue::number(i64 n)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(n));
+    return rawNumber(buf);
+}
+
+JsonValue
+JsonValue::rawNumber(std::string text)
+{
+    JsonValue v;
+    v.valueKind = Kind::Number;
+    v.text = std::move(text);
+    return v;
+}
+
+JsonValue
+JsonValue::string(std::string s)
+{
+    JsonValue v;
+    v.valueKind = Kind::String;
+    v.text = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.valueKind = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.valueKind = Kind::Object;
+    return v;
+}
+
+bool
+JsonValue::asBool() const
+{
+    return valueKind == Kind::Bool && boolVal;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (valueKind != Kind::Number)
+        return 0.0;
+    return std::strtod(text.c_str(), nullptr);
+}
+
+u64
+JsonValue::asU64() const
+{
+    if (valueKind != Kind::Number)
+        return 0;
+    return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    static const std::string empty;
+    return valueKind == Kind::String ? text : empty;
+}
+
+const std::string &
+JsonValue::numberText() const
+{
+    static const std::string zero = "0";
+    return valueKind == Kind::Number ? text : zero;
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    arr.push_back(std::move(v));
+}
+
+std::size_t
+JsonValue::size() const
+{
+    return valueKind == Kind::Array ? arr.size() : obj.size();
+}
+
+const JsonValue &
+JsonValue::at(std::size_t i) const
+{
+    static const JsonValue nil;
+    return i < arr.size() ? arr[i] : nil;
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    for (auto &kv : obj) {
+        if (kv.first == key) {
+            kv.second = std::move(v);
+            return;
+        }
+    }
+    obj.emplace_back(key, std::move(v));
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &kv : obj)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.15g", v);
+    if (std::strtod(buf, nullptr) != v)
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Keep the token a valid JSON number (no inf/nan).
+    if (std::strchr(buf, 'i') || std::strchr(buf, 'n'))
+        return "0";
+    return buf;
+}
+
+void
+JsonValue::renderTo(std::string &out, int depth) const
+{
+    const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+    const std::string padIn(static_cast<std::size_t>(depth + 1) * 2,
+                            ' ');
+    switch (valueKind) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += boolVal ? "true" : "false";
+        break;
+      case Kind::Number:
+        out += text;
+        break;
+      case Kind::String:
+        out += '"';
+        out += jsonEscape(text);
+        out += '"';
+        break;
+      case Kind::Array:
+        if (arr.empty()) {
+            out += "[]";
+            break;
+        }
+        out += "[\n";
+        for (std::size_t i = 0; i < arr.size(); ++i) {
+            out += padIn;
+            arr[i].renderTo(out, depth + 1);
+            if (i + 1 < arr.size())
+                out += ',';
+            out += '\n';
+        }
+        out += pad;
+        out += ']';
+        break;
+      case Kind::Object:
+        if (obj.empty()) {
+            out += "{}";
+            break;
+        }
+        out += "{\n";
+        for (std::size_t i = 0; i < obj.size(); ++i) {
+            out += padIn;
+            out += '"';
+            out += jsonEscape(obj[i].first);
+            out += "\": ";
+            obj[i].second.renderTo(out, depth + 1);
+            if (i + 1 < obj.size())
+                out += ',';
+            out += '\n';
+        }
+        out += pad;
+        out += '}';
+        break;
+    }
+}
+
+std::string
+JsonValue::render() const
+{
+    std::string out;
+    renderTo(out, 0);
+    out += '\n';
+    return out;
+}
+
+namespace
+{
+
+/** Strict recursive-descent JSON parser over a string view. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &s) : src(s) {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!value(out))
+            return false;
+        skipWs();
+        return pos == src.size();
+    }
+
+  private:
+    const std::string &src;
+    std::size_t pos = 0;
+
+    void
+    skipWs()
+    {
+        while (pos < src.size() &&
+               (src[pos] == ' ' || src[pos] == '\t' ||
+                src[pos] == '\n' || src[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t len = std::strlen(word);
+        if (src.compare(pos, len, word) != 0)
+            return false;
+        pos += len;
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        if (pos >= src.size())
+            return false;
+        switch (src[pos]) {
+          case '{': return object(out);
+          case '[': return array(out);
+          case '"': return string(out);
+          case 't':
+            out = JsonValue::boolean(true);
+            return literal("true");
+          case 'f':
+            out = JsonValue::boolean(false);
+            return literal("false");
+          case 'n':
+            out = JsonValue::null();
+            return literal("null");
+          default: return number(out);
+        }
+    }
+
+    bool
+    number(JsonValue &out)
+    {
+        std::size_t start = pos;
+        if (pos < src.size() && src[pos] == '-')
+            ++pos;
+        if (pos >= src.size() || !std::isdigit(
+                static_cast<unsigned char>(src[pos])))
+            return false;
+        while (pos < src.size() &&
+               (std::isdigit(static_cast<unsigned char>(src[pos])) ||
+                src[pos] == '.' || src[pos] == 'e' ||
+                src[pos] == 'E' || src[pos] == '+' ||
+                src[pos] == '-'))
+            ++pos;
+        out = JsonValue::rawNumber(src.substr(start, pos - start));
+        return true;
+    }
+
+    bool
+    string(JsonValue &out)
+    {
+        std::string s;
+        if (!rawString(s))
+            return false;
+        out = JsonValue::string(std::move(s));
+        return true;
+    }
+
+    bool
+    rawString(std::string &s)
+    {
+        if (pos >= src.size() || src[pos] != '"')
+            return false;
+        ++pos;
+        while (pos < src.size()) {
+            char c = src[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                if (++pos >= src.size())
+                    return false;
+                switch (src[pos]) {
+                  case '"': s += '"'; break;
+                  case '\\': s += '\\'; break;
+                  case '/': s += '/'; break;
+                  case 'b': s += '\b'; break;
+                  case 'f': s += '\f'; break;
+                  case 'n': s += '\n'; break;
+                  case 'r': s += '\r'; break;
+                  case 't': s += '\t'; break;
+                  case 'u': {
+                    if (pos + 4 >= src.size())
+                        return false;
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = src[pos + 1 + i];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return false;
+                    }
+                    pos += 4;
+                    // UTF-8 encode the BMP code point.
+                    if (cp < 0x80) {
+                        s += static_cast<char>(cp);
+                    } else if (cp < 0x800) {
+                        s += static_cast<char>(0xc0 | (cp >> 6));
+                        s += static_cast<char>(0x80 | (cp & 0x3f));
+                    } else {
+                        s += static_cast<char>(0xe0 | (cp >> 12));
+                        s += static_cast<char>(0x80 |
+                                               ((cp >> 6) & 0x3f));
+                        s += static_cast<char>(0x80 | (cp & 0x3f));
+                    }
+                    break;
+                  }
+                  default: return false;
+                }
+                ++pos;
+            } else {
+                s += c;
+                ++pos;
+            }
+        }
+        return false; // unterminated
+    }
+
+    bool
+    array(JsonValue &out)
+    {
+        out = JsonValue::array();
+        ++pos; // '['
+        skipWs();
+        if (pos < src.size() && src[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            JsonValue v;
+            skipWs();
+            if (!value(v))
+                return false;
+            out.push(std::move(v));
+            skipWs();
+            if (pos >= src.size())
+                return false;
+            if (src[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (src[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    object(JsonValue &out)
+    {
+        out = JsonValue::object();
+        ++pos; // '{'
+        skipWs();
+        if (pos < src.size() && src[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!rawString(key))
+                return false;
+            skipWs();
+            if (pos >= src.size() || src[pos] != ':')
+                return false;
+            ++pos;
+            skipWs();
+            JsonValue v;
+            if (!value(v))
+                return false;
+            out.set(key, std::move(v));
+            skipWs();
+            if (pos >= src.size())
+                return false;
+            if (src[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (src[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return false;
+        }
+    }
+};
+
+} // namespace
+
+std::optional<JsonValue>
+parseJson(const std::string &text)
+{
+    Parser p(text);
+    JsonValue v;
+    if (!p.parse(v))
+        return std::nullopt;
+    return v;
+}
+
+u64
+fnv1a64(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    u64 h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace obs
+} // namespace splab

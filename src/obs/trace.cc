@@ -1,0 +1,329 @@
+#include "trace.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <mutex>
+
+#include "json.hh"
+
+namespace splab
+{
+namespace obs
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+threadCpuSeconds()
+{
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+        return static_cast<double>(ts.tv_sec) +
+               static_cast<double>(ts.tv_nsec) * 1e-9;
+#endif
+    return 0.0;
+}
+
+/** One completed span, recorded only when tracing is enabled. */
+struct TraceEvent
+{
+    std::string name; ///< leaf label
+    std::string path; ///< full slash-joined path
+    u32 tid = 0;
+    double startUs = 0.0; ///< since process trace epoch
+    double durUs = 0.0;
+    double cpuUs = 0.0;
+};
+
+struct Aggregate
+{
+    u64 count = 0;
+    double wallSeconds = 0.0;
+    double cpuSeconds = 0.0;
+};
+
+struct Global
+{
+    std::mutex mtx;
+    std::map<std::string, Aggregate> aggregates;
+    std::vector<TraceEvent> events;
+    Clock::time_point epoch = Clock::now();
+    std::atomic<bool> tracing{false};
+    std::atomic<u32> nextTid{0};
+};
+
+Global &
+global()
+{
+    static Global *g = new Global(); // leaked: outlives statics
+    return *g;
+}
+
+bool
+envTracing()
+{
+    const char *v = std::getenv("SPLAB_TRACE");
+    return v && *v && !(v[0] == '0' && v[1] == '\0');
+}
+
+struct OpenSpan
+{
+    const char *name;
+    std::string path;
+    Clock::time_point wall0;
+    double cpu0;
+};
+
+struct ThreadState
+{
+    std::vector<OpenSpan> open;
+    std::string contextBase;
+    u32 tid = 0;
+    bool haveTid = false;
+};
+
+ThreadState &
+threadState()
+{
+    thread_local ThreadState ts;
+    return ts;
+}
+
+u32
+threadTid(ThreadState &ts)
+{
+    if (!ts.haveTid) {
+        ts.tid = global().nextTid.fetch_add(
+            1, std::memory_order_relaxed);
+        ts.haveTid = true;
+    }
+    return ts.tid;
+}
+
+std::atomic<bool> &
+tracingFlag()
+{
+    static std::atomic<bool> *flag = [] {
+        auto *f = &global().tracing;
+        f->store(envTracing(), std::memory_order_relaxed);
+        return f;
+    }();
+    return *flag;
+}
+
+} // namespace
+
+bool
+tracingEnabled()
+{
+    return tracingFlag().load(std::memory_order_relaxed);
+}
+
+void
+setTracingEnabled(bool on)
+{
+    tracingFlag().store(on, std::memory_order_relaxed);
+}
+
+TraceSpan::TraceSpan(const char *name)
+{
+    ThreadState &ts = threadState();
+    OpenSpan s;
+    s.name = name;
+    if (!ts.open.empty())
+        s.path = ts.open.back().path + "/" + name;
+    else if (!ts.contextBase.empty())
+        s.path = ts.contextBase + "/" + name;
+    else
+        s.path = name;
+    s.wall0 = Clock::now();
+    s.cpu0 = threadCpuSeconds();
+    ts.open.push_back(std::move(s));
+}
+
+TraceSpan::~TraceSpan()
+{
+    close();
+}
+
+void
+TraceSpan::close()
+{
+    if (closed)
+        return;
+    closed = true;
+    ThreadState &ts = threadState();
+    if (ts.open.empty())
+        return; // unbalanced; never raise from a destructor
+    OpenSpan s = std::move(ts.open.back());
+    ts.open.pop_back();
+
+    double wall = std::chrono::duration<double>(Clock::now() -
+                                                s.wall0)
+                      .count();
+    double cpu = threadCpuSeconds() - s.cpu0;
+
+    Global &g = global();
+    bool record = tracingEnabled();
+    double startUs = 0.0;
+    if (record)
+        startUs = std::chrono::duration<double, std::micro>(
+                      s.wall0 - g.epoch)
+                      .count();
+
+    std::lock_guard<std::mutex> lock(g.mtx);
+    Aggregate &a = g.aggregates[s.path];
+    a.count += 1;
+    a.wallSeconds += wall;
+    a.cpuSeconds += cpu;
+    if (record) {
+        TraceEvent e;
+        e.name = s.name;
+        e.path = std::move(s.path);
+        e.tid = threadTid(ts);
+        e.startUs = startUs;
+        e.durUs = wall * 1e6;
+        e.cpuUs = cpu * 1e6;
+        g.events.push_back(std::move(e));
+    }
+}
+
+std::string
+traceContext()
+{
+    ThreadState &ts = threadState();
+    if (!ts.open.empty())
+        return ts.open.back().path;
+    return ts.contextBase;
+}
+
+TraceContextGuard::TraceContextGuard(std::string basePath)
+{
+    ThreadState &ts = threadState();
+    saved = std::move(ts.contextBase);
+    ts.contextBase = std::move(basePath);
+}
+
+TraceContextGuard::~TraceContextGuard()
+{
+    threadState().contextBase = std::move(saved);
+}
+
+std::vector<SpanStat>
+spanStats()
+{
+    Global &g = global();
+    std::lock_guard<std::mutex> lock(g.mtx);
+    std::vector<SpanStat> out;
+    out.reserve(g.aggregates.size());
+    for (const auto &kv : g.aggregates) {
+        SpanStat s;
+        s.path = kv.first;
+        s.count = kv.second.count;
+        s.wallSeconds = kv.second.wallSeconds;
+        s.cpuSeconds = kv.second.cpuSeconds;
+        out.push_back(std::move(s));
+    }
+    return out; // std::map iteration: already sorted by path
+}
+
+std::string
+renderSpanTree()
+{
+    auto stats = spanStats();
+    std::string out = "trace spans (count, wall s, cpu s)\n";
+    for (const auto &s : stats) {
+        std::size_t depth = 0;
+        std::size_t lastSlash = std::string::npos;
+        for (std::size_t i = 0; i < s.path.size(); ++i) {
+            if (s.path[i] == '/') {
+                ++depth;
+                lastSlash = i;
+            }
+        }
+        std::string leaf = lastSlash == std::string::npos
+                               ? s.path
+                               : s.path.substr(lastSlash + 1);
+        char line[192];
+        std::snprintf(line, sizeof(line),
+                      "%*s%-*s %8llu  %10.4f  %10.4f\n",
+                      static_cast<int>(depth * 2), "",
+                      static_cast<int>(40 - depth * 2), leaf.c_str(),
+                      static_cast<unsigned long long>(s.count),
+                      s.wallSeconds, s.cpuSeconds);
+        out += line;
+    }
+    return out;
+}
+
+bool
+writeChromeTrace(const std::string &path)
+{
+    Global &g = global();
+    std::vector<TraceEvent> events;
+    {
+        std::lock_guard<std::mutex> lock(g.mtx);
+        events = g.events;
+    }
+    if (events.empty())
+        return false;
+
+    JsonValue root = JsonValue::object();
+    JsonValue arr = JsonValue::array();
+    for (const auto &e : events) {
+        JsonValue ev = JsonValue::object();
+        ev.set("name", JsonValue::string(e.name));
+        ev.set("cat", JsonValue::string("splab"));
+        ev.set("ph", JsonValue::string("X"));
+        ev.set("ts", JsonValue::number(e.startUs));
+        ev.set("dur", JsonValue::number(e.durUs));
+        ev.set("pid", JsonValue::number(u64{1}));
+        ev.set("tid", JsonValue::number(u64{e.tid}));
+        JsonValue args = JsonValue::object();
+        args.set("path", JsonValue::string(e.path));
+        args.set("cpu_us", JsonValue::number(e.cpuUs));
+        ev.set("args", std::move(args));
+        arr.push(std::move(ev));
+    }
+    root.set("traceEvents", std::move(arr));
+    root.set("displayTimeUnit", JsonValue::string("ms"));
+
+    std::string text = root.render();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    bool ok = (n == text.size()) && std::fclose(f) == 0;
+    if (n != text.size())
+        std::fclose(f);
+    return ok;
+}
+
+std::size_t
+traceEventCount()
+{
+    Global &g = global();
+    std::lock_guard<std::mutex> lock(g.mtx);
+    return g.events.size();
+}
+
+void
+clearSpans()
+{
+    Global &g = global();
+    std::lock_guard<std::mutex> lock(g.mtx);
+    g.aggregates.clear();
+    g.events.clear();
+    g.epoch = Clock::now();
+}
+
+} // namespace obs
+} // namespace splab

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Hierarchical scoped tracing for the experiment pipeline.
+ *
+ * A TraceSpan marks one stage of work ("suite.whole_cache",
+ * "kmeans.fit").  Spans nest: a span opened while another is open on
+ * the same thread becomes its child, and its *path* is the
+ * slash-joined chain ("simpoint.pick/simpoint.ksweep/kmeans.fit").
+ * The thread pool propagates the submitting thread's path into its
+ * workers (see TraceContextGuard), so work fanned out across the
+ * pool is attributed to the stage that spawned it — span paths and
+ * counts are identical at any SPLAB_THREADS setting.
+ *
+ * Two consumers:
+ *  - Aggregated per-path statistics (count, wall, CPU) are always
+ *    collected — they feed the per-stage timing section of run
+ *    manifests (obs/manifest.hh).  Spans are coarse (per run window,
+ *    per fit, per replay), so the cost is noise.
+ *  - With SPLAB_TRACE=1 every span is additionally recorded as an
+ *    event and can be dumped as a Chrome trace_event JSON
+ *    (chrome://tracing, Perfetto) plus a human-readable tree.
+ */
+
+#ifndef SPLAB_OBS_TRACE_HH
+#define SPLAB_OBS_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace splab
+{
+namespace obs
+{
+
+/** True when SPLAB_TRACE requests full event recording. */
+bool tracingEnabled();
+
+/** Override SPLAB_TRACE (tests, benches). */
+void setTracingEnabled(bool on);
+
+/** RAII scope marking one stage of work.  Cheap; never throws. */
+class TraceSpan
+{
+  public:
+    /** @param name stage label; must not contain '/'. */
+    explicit TraceSpan(const char *name);
+    ~TraceSpan();
+
+    /** End the span before scope exit; idempotent. */
+    void close();
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    bool closed = false;
+};
+
+/**
+ * Full span path of the calling thread: the innermost open span's
+ * path, else the inherited pool context, else "".
+ */
+std::string traceContext();
+
+/**
+ * Install an inherited base path on this thread for the guard's
+ * lifetime: spans opened while no local span is open become children
+ * of @p basePath.  The thread pool wraps worker tasks in one of
+ * these so fanned-out work keeps its submitting stage's attribution.
+ */
+class TraceContextGuard
+{
+  public:
+    explicit TraceContextGuard(std::string basePath);
+    ~TraceContextGuard();
+
+    TraceContextGuard(const TraceContextGuard &) = delete;
+    TraceContextGuard &operator=(const TraceContextGuard &) = delete;
+
+  private:
+    std::string saved;
+};
+
+/** Aggregated statistics of one span path. */
+struct SpanStat
+{
+    std::string path;   ///< slash-joined span chain
+    u64 count = 0;      ///< completed spans on this path
+    double wallSeconds = 0.0;
+    double cpuSeconds = 0.0;
+};
+
+/** Per-path aggregates, sorted by path.  Always available. */
+std::vector<SpanStat> spanStats();
+
+/** Human-readable tree of the aggregated spans. */
+std::string renderSpanTree();
+
+/**
+ * Dump recorded events (SPLAB_TRACE=1 runs) as Chrome trace_event
+ * JSON.  @return false when nothing was recorded or I/O failed.
+ */
+bool writeChromeTrace(const std::string &path);
+
+/** Recorded event count (0 unless tracing was enabled). */
+std::size_t traceEventCount();
+
+/** Drop all aggregates and recorded events (tests). */
+void clearSpans();
+
+} // namespace obs
+} // namespace splab
+
+#endif // SPLAB_OBS_TRACE_HH

@@ -1,5 +1,7 @@
 #include "engine.hh"
 
+#include "obs/counters.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 
 namespace splab
@@ -21,6 +23,15 @@ Engine::clearTools()
 ICount
 Engine::run(SyntheticWorkload &workload, u64 firstChunk, u64 numChunks)
 {
+    obs::TraceSpan span("engine.window");
+    static obs::Counter &windows =
+        obs::counter("pin.windows", "instrumented run windows");
+    static obs::Counter &chunks =
+        obs::counter("pin.chunks_replayed",
+                     "workload chunks run under instrumentation");
+    static obs::Counter &instrs =
+        obs::counter("pin.instrs", "instructions instrumented");
+
     bool needAddresses = false;
     for (PinTool *t : tools)
         needAddresses = needAddresses || t->wantsMemory();
@@ -34,6 +45,9 @@ Engine::run(SyntheticWorkload &workload, u64 firstChunk, u64 numChunks)
     for (PinTool *t : tools)
         t->onRunEnd();
 
+    windows.add();
+    chunks.add(numChunks);
+    instrs.add(icount - before);
     return icount - before;
 }
 

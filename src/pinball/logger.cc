@@ -1,5 +1,7 @@
 #include "logger.hh"
 
+#include "obs/counters.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 #include "workload/synthetic.hh"
 
@@ -47,6 +49,16 @@ Logger::streamChecksum(SyntheticWorkload &workload, u64 firstChunk,
 Pinball
 Logger::captureWhole(SyntheticWorkload &workload, bool verify)
 {
+    obs::TraceSpan span("logger.capture_whole");
+    static obs::Counter &captured =
+        obs::counter("pinball.whole_captured",
+                     "whole pinballs logged");
+    static obs::Counter &chunksLogged =
+        obs::counter("pinball.chunks_logged",
+                     "chunks covered by logged whole pinballs");
+    captured.add();
+    chunksLogged.add(workload.totalChunks());
+
     RegionDesc whole;
     whole.firstChunk = 0;
     whole.numChunks = workload.totalChunks();
@@ -63,6 +75,11 @@ Pinball
 Logger::makeRegional(const Pinball &whole,
                      const SimPointResult &simpoints)
 {
+    obs::TraceSpan span("logger.make_regional");
+    static obs::Counter &regionsLogged =
+        obs::counter("pinball.regions_logged",
+                     "regions extracted into regional pinballs");
+    regionsLogged.add(simpoints.points.size());
     SPLAB_ASSERT(whole.kind() == PinballKind::Whole,
                  "regional pinballs derive from whole pinballs");
     const BenchmarkSpec &spec = whole.spec();

@@ -1,5 +1,6 @@
 #include "pinball.hh"
 
+#include "obs/counters.hh"
 #include "support/logging.hh"
 #include "support/serialize.hh"
 
@@ -53,12 +54,18 @@ Pinball::save(const std::string &path) const
     }
     if (!w.saveFile(path))
         SPLAB_FATAL("cannot write pinball: ", path);
+    obs::counter("pinball.bytes_saved",
+                 "pinball bytes written to disk")
+        .add(w.bytes().size());
 }
 
 Pinball
 Pinball::load(const std::string &path)
 {
     ByteReader r = ByteReader::loadFile(path);
+    obs::counter("pinball.bytes_loaded",
+                 "pinball bytes read from disk")
+        .add(r.remaining());
     if (r.get<u64>() != kMagic)
         SPLAB_FATAL("not a pinball file: ", path);
     u32 version = r.get<u32>();

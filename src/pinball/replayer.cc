@@ -1,6 +1,7 @@
 #include "replayer.hh"
 
 #include "logger.hh"
+#include "obs/counters.hh"
 #include "support/logging.hh"
 
 namespace splab
@@ -16,8 +17,17 @@ Replayer::replayRegion(std::size_t index, Engine &engine)
 {
     SPLAB_ASSERT(index < ball.regions().size(),
                  "replay: region ", index, " out of range");
+    static obs::Counter &regions =
+        obs::counter("pinball.regions_replayed",
+                     "regional pinball regions replayed");
+    static obs::Counter &instrs =
+        obs::counter("pinball.instrs_replayed",
+                     "instructions replayed from pinballs");
     const RegionDesc &r = ball.regions()[index];
-    return engine.run(*wl, r.firstChunk, r.numChunks);
+    ICount ran = engine.run(*wl, r.firstChunk, r.numChunks);
+    regions.add();
+    instrs.add(ran);
+    return ran;
 }
 
 ICount
@@ -31,6 +41,10 @@ Replayer::replayWarmup(std::size_t index, u64 warmupChunks,
     u64 n = warmupChunks < available ? warmupChunks : available;
     if (n == 0)
         return 0;
+    static obs::Counter &warmup =
+        obs::counter("pinball.warmup_chunks_replayed",
+                     "chunks replayed for functional warm-up");
+    warmup.add(n);
     return engine.run(*wl, r.firstChunk - n, n);
 }
 

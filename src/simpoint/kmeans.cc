@@ -3,6 +3,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/counters.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 #include "support/thread_pool.hh"
@@ -116,6 +118,13 @@ seedCentroids(const DenseMatrix &points, u32 k, Rng &rng)
 KMeansResult
 kmeansFit(const DenseMatrix &points, u32 k, u64 seed, int maxIters)
 {
+    obs::TraceSpan span("kmeans.fit");
+    static obs::Counter &fits =
+        obs::counter("kmeans.fits", "k-means fits performed");
+    static obs::Counter &iters =
+        obs::counter("kmeans.iterations",
+                     "Lloyd iterations across all fits");
+    fits.add();
     SPLAB_ASSERT(!points.empty(), "kmeans: no points");
     if (k > points.rows())
         k = static_cast<u32>(points.rows());
@@ -204,6 +213,7 @@ kmeansFit(const DenseMatrix &points, u32 k, u64 seed, int maxIters)
             break;
         }
     }
+    iters.add(res.iterations);
     return res;
 }
 

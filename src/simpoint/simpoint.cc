@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/counters.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 #include "support/serialize.hh"
@@ -146,6 +148,7 @@ SimPointResult
 finalize(const KMeansResult &fit, const DenseMatrix &allProjected,
          const SimPointConfig &cfg)
 {
+    obs::TraceSpan span("simpoint.finalize");
     SimPointResult res;
     res.totalSlices = allProjected.rows();
     res.sliceInstrs = cfg.sliceInstrs;
@@ -338,6 +341,11 @@ SimPointResult
 pickSimPoints(const std::vector<FrequencyVector> &bbvs,
               const SimPointConfig &cfg)
 {
+    obs::TraceSpan span("simpoint.pick");
+    static obs::Counter &selections =
+        obs::counter("simpoint.selections",
+                     "SimPoint selections performed");
+    selections.add();
     SPLAB_ASSERT(!bbvs.empty(), "simpoint: no slices");
 
     ClusterInputs in = prepareClusterInputs(bbvs, cfg);
@@ -354,6 +362,7 @@ pickSimPoints(const std::vector<FrequencyVector> &bbvs,
         KMeansResult fit;
         KSweepEntry entry;
     };
+    obs::TraceSpan sweepSpan("simpoint.ksweep");
     auto sweep = parallelMap<SweepFit>(maxK, [&](std::size_t ki) {
         u32 k = static_cast<u32>(ki) + 1;
         SweepFit s;
@@ -363,6 +372,7 @@ pickSimPoints(const std::vector<FrequencyVector> &bbvs,
                    s.fit.avgClusterVariance(in.sample)};
         return s;
     });
+    sweepSpan.close();
 
     std::vector<double> scores;
     scores.reserve(sweep.size());

@@ -13,6 +13,14 @@
  *                    hardware threads.  Changes wall time only —
  *                    results are bit-identical at any thread count
  *                    (see support/thread_pool.hh).
+ *  - SPLAB_TRACE   : 1 = record every trace span and have benches
+ *                    dump "<binary>.trace.json" (Chrome trace_event
+ *                    format) plus a span tree on stdout.  Aggregated
+ *                    span statistics are collected regardless (see
+ *                    obs/trace.hh).
+ *  - SPLAB_MANIFEST: 0 = suppress the "<binary>.manifest.json" run
+ *                    manifest benches write by default (see
+ *                    obs/manifest.hh).
  */
 
 #ifndef SPLAB_SUPPORT_ENV_HH

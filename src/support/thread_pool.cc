@@ -4,6 +4,8 @@
 
 #include "env.hh"
 #include "logging.hh"
+#include "obs/counters.hh"
+#include "obs/trace.hh"
 
 namespace splab
 {
@@ -49,6 +51,9 @@ globalPoolSlot()
 ThreadPool::ThreadPool(std::size_t nThreads)
 {
     SPLAB_ASSERT(nThreads >= 1, "thread pool needs >= 1 thread");
+    obs::gauge("pool.threads",
+               "total parallelism of the most recent pool")
+        .set(nThreads);
     workers.reserve(nThreads - 1);
     for (std::size_t t = 0; t + 1 < nThreads; ++t)
         workers.emplace_back([this] { workerLoop(); });
@@ -127,6 +132,17 @@ ThreadPool::forEach(std::size_t n,
 {
     if (n == 0)
         return;
+    {
+        // Counted work, not scheduling: jobs and task totals are a
+        // pure function of the call structure, so they stay
+        // deterministic at any thread count (manifest contract).
+        static obs::Counter &jobs =
+            obs::counter("pool.jobs", "parallelFor invocations");
+        static obs::Counter &tasks =
+            obs::counter("pool.tasks", "parallelFor indices run");
+        jobs.add();
+        tasks.add(n);
+    }
     if (workers.empty() || inParallelRegion || n == 1) {
         // Inline execution.  The algorithmic structure (who computes
         // what) is identical to the parallel path, so results cannot
@@ -146,10 +162,26 @@ ThreadPool::forEach(std::size_t n,
         return;
     }
 
+    // Thread-pool-aware trace attribution: workers inherit the
+    // submitting thread's span path, so spans opened inside tasks
+    // keep the same full path ("stage/sub.stage") the inline serial
+    // path would produce — span statistics are thread-count
+    // invariant.  Only wrapped when there is a context to carry.
+    std::function<void(std::size_t)> traced;
+    const std::function<void(std::size_t)> *job = &fn;
+    std::string ctx = obs::traceContext();
+    if (!ctx.empty()) {
+        traced = [&fn, ctx](std::size_t i) {
+            obs::TraceContextGuard guard(ctx);
+            fn(i);
+        };
+        job = &traced;
+    }
+
     inParallelRegion = true;
     {
         std::lock_guard<std::mutex> g(mtx);
-        jobFn = &fn;
+        jobFn = job;
         jobSize = n;
         completed = 0;
         firstError = nullptr;

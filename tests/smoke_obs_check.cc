@@ -1,0 +1,103 @@
+/**
+ * @file
+ * CI smoke check for the observability artifacts: runs a bench
+ * binary (argv[1]) under SPLAB_TRACE=1 at a small workload scale,
+ * then verifies that the emitted Chrome trace JSON and the run
+ * manifest both parse and carry the expected structure.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/json.hh"
+
+namespace
+{
+
+int failures = 0;
+
+void
+check(bool ok, const char *what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "smoke_obs_check: FAIL: %s\n", what);
+        ++failures;
+    }
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return "";
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return text;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr,
+                     "usage: smoke_obs_check <bench-binary>\n");
+        return 2;
+    }
+    std::string bin = argv[1];
+
+    std::string cmd = "SPLAB_TRACE=1 SPLAB_MANIFEST=1 SPLAB_CACHE= "
+                      "SPLAB_LOG=0 SPLAB_SCALE=0.05 \"" +
+                      bin + "\" > /dev/null";
+    int rc = std::system(cmd.c_str());
+    check(rc == 0, "bench exited non-zero");
+
+    using splab::obs::JsonValue;
+    using splab::obs::parseJson;
+
+    std::string traceText = slurp(bin + ".trace.json");
+    check(!traceText.empty(), "trace JSON missing or empty");
+    auto trace = parseJson(traceText);
+    check(trace.has_value(), "trace JSON does not parse");
+    if (trace) {
+        const JsonValue *events = trace->find("traceEvents");
+        check(events && events->isArray() && events->size() > 0,
+              "traceEvents missing or empty");
+        if (events && events->size() > 0) {
+            const JsonValue &e = events->at(0);
+            check(e.find("name") && e.find("ph") && e.find("ts") &&
+                      e.find("dur") && e.find("pid") &&
+                      e.find("tid"),
+                  "trace event lacks Chrome trace_event fields");
+        }
+    }
+
+    std::string maniText = slurp(bin + ".manifest.json");
+    check(!maniText.empty(), "manifest missing or empty");
+    auto mani = parseJson(maniText);
+    check(mani.has_value(), "manifest does not parse");
+    if (mani) {
+        const JsonValue *schema = mani->find("schema");
+        check(schema &&
+                  schema->asString() == "splab-manifest-v1",
+              "manifest schema tag wrong");
+        check(mani->find("config") != nullptr,
+              "manifest lacks config section");
+        check(mani->find("counters") != nullptr,
+              "manifest lacks counters section");
+        const JsonValue *outs = mani->find("outputs");
+        check(outs && outs->isArray() && outs->size() > 0,
+              "manifest records no outputs");
+    }
+
+    if (failures == 0)
+        std::printf("smoke_obs_check: OK (%s)\n", bin.c_str());
+    return failures == 0 ? 0 : 1;
+}

@@ -147,11 +147,12 @@ TEST(ArtifactCache, StoreLoadRoundTrip)
     ByteWriter w;
     w.putString("cached payload");
     cache.store("unit", 0x1234, w);
-    auto r = cache.load("unit", 0x1234);
-    ASSERT_TRUE(r.has_value());
+    CacheOutcome r = cache.load("unit", 0x1234);
+    ASSERT_TRUE(r.hit());
+    EXPECT_EQ(r.status, CacheStatus::Hit);
     EXPECT_EQ(r->getString(), "cached payload");
-    EXPECT_FALSE(cache.load("unit", 0x9999).has_value());
-    EXPECT_FALSE(cache.load("other", 0x1234).has_value());
+    EXPECT_EQ(cache.load("unit", 0x9999).status, CacheStatus::Miss);
+    EXPECT_EQ(cache.load("other", 0x1234).status, CacheStatus::Miss);
     std::filesystem::remove_all(dir);
 }
 
@@ -162,7 +163,9 @@ TEST(ArtifactCache, DisabledCacheIsInert)
     ByteWriter w;
     w.put<u64>(1);
     cache.store("unit", 1, w); // must not crash
-    EXPECT_FALSE(cache.load("unit", 1).has_value());
+    CacheOutcome r = cache.load("unit", 1);
+    EXPECT_FALSE(r.hit());
+    EXPECT_EQ(r.status, CacheStatus::Disabled);
 }
 
 TEST(Pipeline, SimPointsFindPhasesOfKnownWorkload)
