@@ -27,9 +27,9 @@ struct AblationRow
 
 AblationRow
 evaluate(const std::string &label, const SimPointConfig &cfg,
-         SuiteRunner &baseline)
+         ArtifactGraph &baseline)
 {
-    PinPointsPipeline pipe(cfg);
+    PinPointsPipeline pipe(cfg, baseline.cacheHandle());
     AblationRow row;
     row.label = label;
     double n = 0;
@@ -69,7 +69,11 @@ main(int, char **argv)
     bench::banner("SimPoint design-choice ablation",
                   "DESIGN.md section 5 (not a paper figure)");
 
-    SuiteRunner runner(ExperimentConfig::paperDefaults());
+    ArtifactGraph graph(ExperimentConfig::paperDefaults());
+    graph.runSuite({"505.mcf_r", "623.xalancbmk_s", "620.omnetpp_s",
+                    "503.bwaves_r", "511.povray_r", "519.lbm_r",
+                    "631.deepsjeng_s", "549.fotonik3d_r"},
+                   {ArtifactKind::WholeCache});
     TableWriter t("Ablation - 8-benchmark averages per config");
     t.header({"Config", "Points", "Points@90%", "Mix err"});
     CsvWriter csv;
@@ -105,7 +109,7 @@ main(int, char **argv)
     }
 
     for (const auto &[label, cfg] : configs) {
-        AblationRow row = evaluate(label, cfg, runner);
+        AblationRow row = evaluate(label, cfg, graph);
         t.row({row.label, fmt(row.avgPoints, 1),
                fmt(row.avgPoints90, 1), fmtPct(row.avgMixErr)});
         csv.row({row.label, fmt(row.avgPoints, 2),

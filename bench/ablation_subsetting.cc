@@ -21,12 +21,14 @@ main(int, char **argv)
     bench::banner("Benchmark-suite subsetting",
                   "Related work, Section V-A (extension)");
 
-    SuiteRunner runner(ExperimentConfig::paperDefaults());
+    ArtifactGraph graph(ExperimentConfig::paperDefaults());
+    graph.runSuite(suiteNames(), {ArtifactKind::WholeCache,
+                                  ArtifactKind::WholeTiming});
     std::vector<BenchmarkFeatures> features;
     for (const auto &e : suiteTable())
         features.push_back(makeFeatures(e.name,
-                                        runner.wholeCache(e.name),
-                                        runner.wholeTiming(e.name)));
+                                        graph.wholeCache(e.name),
+                                        graph.wholeTiming(e.name)));
 
     CsvWriter csv;
     csv.header({"subset_size", "benchmark", "cluster",

@@ -22,7 +22,10 @@ main(int, char **argv)
     bench::banner("SimPoint vs systematic vs random sampling",
                   "Section V-B baselines (extension)");
 
-    SuiteRunner runner(ExperimentConfig::paperDefaults());
+    ArtifactGraph graph(ExperimentConfig::paperDefaults());
+    graph.runSuite(suiteNames(),
+                   {ArtifactKind::SimPoints, ArtifactKind::WholeCache,
+                    ArtifactKind::Native});
     TableWriter t("Sampling accuracy at equal region budget "
                   "(suite averages)");
     t.header({"Strategy", "Mix err (pts)", "L1D err", "L3 err",
@@ -41,10 +44,10 @@ main(int, char **argv)
 
     double n = 0;
     for (const auto &e : suiteTable()) {
-        const BenchmarkSpec &spec = runner.spec(e.name);
-        auto whole = wholeAsAggregate(runner.wholeCache(e.name));
-        double nativeCpi = runner.native(e.name).cpi();
-        const SimPointResult &sp = runner.simpoints(e.name);
+        const BenchmarkSpec &spec = graph.spec(e.name);
+        auto whole = wholeAsAggregate(graph.wholeCache(e.name));
+        double nativeCpi = graph.native(e.name).cpi();
+        const SimPointResult &sp = graph.simpoints(e.name);
         u32 budget = static_cast<u32>(sp.points.size());
 
         SimPointResult strategies[3] = {
@@ -56,7 +59,7 @@ main(int, char **argv)
 
         for (int s = 0; s < 3; ++s) {
             auto cachePts = measurePointsCache(
-                spec, strategies[s], runner.config().allcache, 0);
+                spec, strategies[s], graph.config().allcache, 0);
             auto agg = aggregateCache(cachePts);
             double mixErr = 0;
             for (int c = 0; c < 4; ++c)
@@ -69,8 +72,8 @@ main(int, char **argv)
                 relativeError(agg.l3MissRate, whole.l3MissRate);
 
             auto timingPts = measurePointsTiming(
-                spec, strategies[s], runner.config().machine,
-                runner.config().warmupChunks);
+                spec, strategies[s], graph.config().machine,
+                graph.config().warmupChunks);
             double cpiErr = relativeError(
                 aggregateTiming(timingPts).cpi, nativeCpi);
 

@@ -19,7 +19,9 @@ main(int, char **argv)
     bench::banner("L3 accesses: Whole vs Regional vs Reduced",
                   "Figure 10");
 
-    SuiteRunner runner(ExperimentConfig::paperDefaults());
+    ArtifactGraph graph(ExperimentConfig::paperDefaults());
+    graph.runSuite(suiteNames(), {ArtifactKind::WholeCache,
+                                  ArtifactKind::PointsCacheCold});
     TableWriter t("Fig 10 - L3 cache accesses");
     t.header({"Benchmark", "Whole Run", "Regional", "Reduced",
               "Whole/Regional"});
@@ -29,9 +31,9 @@ main(int, char **argv)
 
     double sumW = 0, sumR = 0, sumRR = 0;
     for (const auto &e : suiteTable()) {
-        u64 whole = runner.wholeCache(e.name).l3.accesses;
-        const auto &pts = runner.pointsCacheCold(e.name);
-        auto reduced = SuiteRunner::reduceToQuantile(pts, 0.9);
+        u64 whole = graph.wholeCache(e.name).l3.accesses;
+        const auto &pts = graph.pointsCacheCold(e.name);
+        auto reduced = reduceToQuantile(pts, 0.9);
         u64 regional = 0, rr = 0;
         for (const auto &p : pts)
             regional += p.m.l3.accesses;

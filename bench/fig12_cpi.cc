@@ -20,7 +20,9 @@ main(int, char **argv)
     bench::banner("CPI: native (perf) vs Sniper with SimPoints",
                   "Figure 12");
 
-    SuiteRunner runner(ExperimentConfig::paperDefaults());
+    ArtifactGraph graph(ExperimentConfig::paperDefaults());
+    graph.runSuite(suiteNames(), {ArtifactKind::Native,
+                                  ArtifactKind::PointsTiming});
     TableWriter t("Fig 12 - CPI comparison");
     t.header({"Benchmark", "Native (perf)", "Sniper Regional",
               "Sniper Reduced", "err R", "err RR"});
@@ -31,12 +33,11 @@ main(int, char **argv)
     std::vector<double> natives, regionals;
     double errR = 0, errRR = 0, n = 0;
     for (const auto &e : suiteTable()) {
-        double native = runner.native(e.name).cpi();
-        const auto &pts = runner.pointsTiming(e.name);
+        double native = graph.native(e.name).cpi();
+        const auto &pts = graph.pointsTiming(e.name);
         double regional = aggregateTiming(pts).cpi;
         double reduced =
-            aggregateTiming(SuiteRunner::reduceToQuantile(pts, 0.9))
-                .cpi;
+            aggregateTiming(reduceToQuantile(pts, 0.9)).cpi;
 
         t.row({e.name, fmt(native, 3), fmt(regional, 3),
                fmt(reduced, 3),

@@ -29,12 +29,14 @@ struct ConfigRow
 
 ConfigRow
 runConfig(const BenchmarkSpec &spec, u32 maxK, double sliceM,
-          const HierarchyConfig &caches)
+          const HierarchyConfig &caches, ArtifactGraph &graph)
 {
     SimPointConfig cfg;
     cfg.maxK = maxK;
     cfg.sliceInstrs = scale::sliceForPaperMillions(sliceM);
-    PinPointsPipeline pipe(cfg);
+    // Share the graph's cache instance: one writability probe and
+    // one counter stream per process.
+    PinPointsPipeline pipe(cfg, graph.cacheHandle());
     SimPointResult sp = pipe.simpoints(spec);
     auto points = measurePointsCache(spec, sp, caches, 0);
     ConfigRow row;
@@ -66,13 +68,13 @@ main(int, char **argv)
     bench::banner("MaxK and slice-size sensitivity (xalancbmk_s)",
                   "Figure 3(a) and 3(b)");
 
-    SuiteRunner runner(ExperimentConfig::paperDefaults());
+    ArtifactGraph graph(ExperimentConfig::paperDefaults());
     const std::string name = "623.xalancbmk_s";
-    const BenchmarkSpec &spec = runner.spec(name);
+    const BenchmarkSpec &spec = graph.spec(name);
     const HierarchyConfig caches = tableIConfig();
 
     AggregateCacheMetrics whole =
-        wholeAsAggregate(runner.wholeCache(name));
+        wholeAsAggregate(graph.wholeCache(name));
 
     CsvWriter csv;
     csv.header({"config", "no_mem", "mem_r", "mem_w", "mem_rw",
@@ -85,7 +87,8 @@ main(int, char **argv)
     ta.separator();
     for (u32 maxK : scale::kMaxKSweep) {
         ConfigRow row =
-            runConfig(spec, maxK, scale::kChosenSliceM, caches);
+            runConfig(spec, maxK, scale::kChosenSliceM, caches,
+                      graph);
         emit(ta, csv, row.label, row.agg);
     }
     ta.print();
@@ -97,7 +100,8 @@ main(int, char **argv)
     tb.separator();
     for (double sliceM : scale::kPaperSliceSweepM) {
         ConfigRow row =
-            runConfig(spec, scale::kChosenMaxK, sliceM, caches);
+            runConfig(spec, scale::kChosenMaxK, sliceM, caches,
+                      graph);
         emit(tb, csv, row.label, row.agg);
     }
     tb.print();

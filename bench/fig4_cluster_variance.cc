@@ -18,7 +18,8 @@ main(int, char **argv)
     bench::banner("Within-cluster variance vs number of clusters",
                   "Figure 4");
 
-    SuiteRunner runner(ExperimentConfig::paperDefaults());
+    ArtifactGraph graph(ExperimentConfig::paperDefaults());
+    graph.runSuite(suiteNames(), {ArtifactKind::SimPoints});
     const u32 kPoints[] = {5, 10, 15, 20, 25, 30, 35};
 
     TableWriter t("Fig 4 - avg cluster variance (x1000) by #clusters");
@@ -30,7 +31,7 @@ main(int, char **argv)
     for (const auto &e : suiteTable()) {
         // The BIC sweep in the SimPoint selection already fit every
         // k in 1..MaxK; read the variance curve straight out of it.
-        const SimPointResult &r = runner.simpoints(e.name);
+        const SimPointResult &r = graph.simpoints(e.name);
         std::vector<std::string> cells = {e.name};
         for (u32 k : kPoints) {
             double var = 0.0;

@@ -21,8 +21,8 @@ main(int, char **argv)
     bench::banner("Whole vs Regional vs Reduced Regional runs",
                   "Figure 5(a) instruction count, 5(b) time");
 
-    SuiteRunner runner(ExperimentConfig::paperDefaults());
-    ReplayCostModel cost = runner.config().cost;
+    ArtifactGraph graph(ExperimentConfig::paperDefaults());
+    ReplayCostModel cost = graph.config().cost;
 
     bench::ReportSink sink(
         argv[0], "Fig 5 - run sizes and paper-equivalent times");
@@ -39,20 +39,26 @@ main(int, char **argv)
                  {"T-ratio RR", ""},
                  {"", "wall_whole_s", /*wallClock=*/true},
                  {"", "wall_regional_s", /*wallClock=*/true}});
-    runner.config().describe(sink.manifest());
+    graph.config().describe(sink.manifest());
+
+    const auto names = suiteNames();
+    const std::vector<ArtifactKind> targets = {
+        ArtifactKind::WholeCache, ArtifactKind::PointsCacheCold};
+    graph.runSuite(names, targets);
+    graph.recordArtifacts(sink.manifest(), names, targets);
 
     double sumIW = 0, sumIR = 0, sumIRR = 0;
     double sumTW = 0, sumTR = 0, sumTRR = 0;
     for (const auto &e : suiteTable()) {
-        ICount whole = runner.spec(e.name).totalInstrs();
+        ICount whole = graph.spec(e.name).totalInstrs();
         // Run-length equivalence: the suite table's paper-scale
         // dynamic instruction count maps this benchmark's model run
         // onto the paper's testbed (absorbing the replay overhead
         // the paper's pinballs carry).
         double paperScale = e.paperInstrsB * 1e9 /
                             static_cast<double>(whole);
-        const auto &pts = runner.pointsCacheCold(e.name);
-        auto reduced = SuiteRunner::reduceToQuantile(pts, 0.9);
+        const auto &pts = graph.pointsCacheCold(e.name);
+        auto reduced = reduceToQuantile(pts, 0.9);
         ICount regional = 0, rr = 0;
         double wallR = 0;
         for (const auto &p : pts) {
@@ -85,7 +91,7 @@ main(int, char **argv)
              {fmt(tR / 60.0, 1) + " m", fmt(tR / 60.0, 3)},
              {fmt(tRR / 60.0, 1) + " m", fmt(tRR / 60.0, 3)},
              fmtX(tW / tR), fmtX(tW / tRR),
-             fmt(runner.wholeCache(e.name).wallSeconds, 3),
+             fmt(graph.wholeCache(e.name).wallSeconds, 3),
              fmt(wallR, 3)});
         sumIW += static_cast<double>(whole);
         sumIR += static_cast<double>(regional);

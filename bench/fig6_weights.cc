@@ -18,7 +18,8 @@ main(int, char **argv)
 {
     bench::banner("Simulation-point weight distribution", "Figure 6");
 
-    SuiteRunner runner(ExperimentConfig::paperDefaults());
+    ArtifactGraph graph(ExperimentConfig::paperDefaults());
+    graph.runSuite(suiteNames(), {ArtifactKind::SimPoints});
     TableWriter t("Fig 6 - per-benchmark weight profile");
     t.header({"Benchmark", "Points", "Top-1", "Top-3 cum",
               "90% cut at", "Weights (descending, top 8)"});
@@ -27,7 +28,7 @@ main(int, char **argv)
                 "within_90pct"});
 
     for (const auto &e : suiteTable()) {
-        const SimPointResult &r = runner.simpoints(e.name);
+        const SimPointResult &r = graph.simpoints(e.name);
         auto sorted = r.byDescendingWeight();
         std::size_t cut = r.topByWeight(0.9).size();
 
@@ -57,7 +58,7 @@ main(int, char **argv)
     }
     t.print();
 
-    const SimPointResult &bw = runner.simpoints("503.bwaves_r");
+    const SimPointResult &bw = graph.simpoints("503.bwaves_r");
     auto bwSorted = bw.byDescendingWeight();
     double bwTop3 = bwSorted[0].weight + bwSorted[1].weight +
                     bwSorted[2].weight;

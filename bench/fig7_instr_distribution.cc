@@ -19,7 +19,9 @@ main(int, char **argv)
     bench::banner("Instruction distribution: Whole vs Regional vs "
                   "Reduced Regional", "Figure 7");
 
-    SuiteRunner runner(ExperimentConfig::paperDefaults());
+    ArtifactGraph graph(ExperimentConfig::paperDefaults());
+    graph.runSuite(suiteNames(), {ArtifactKind::WholeCache,
+                                  ArtifactKind::PointsCacheCold});
     TableWriter t("Fig 7 - instruction mix (NO_MEM/MEM_R/MEM_W/"
                   "MEM_RW, % of instructions)");
     t.header({"Benchmark", "Whole", "Regional", "Reduced",
@@ -48,11 +50,10 @@ main(int, char **argv)
     std::array<double, 4> suiteWhole{};
     double sumErrR = 0.0, sumErrRR = 0.0;
     for (const auto &e : suiteTable()) {
-        auto whole = wholeAsAggregate(runner.wholeCache(e.name));
-        const auto &pts = runner.pointsCacheCold(e.name);
+        auto whole = wholeAsAggregate(graph.wholeCache(e.name));
+        const auto &pts = graph.pointsCacheCold(e.name);
         auto regional = aggregateCache(pts);
-        auto reduced = aggregateCache(
-            SuiteRunner::reduceToQuantile(pts, 0.9));
+        auto reduced = aggregateCache(reduceToQuantile(pts, 0.9));
 
         double errR = maxErr(regional.mixFrac, whole.mixFrac);
         double errRR = maxErr(reduced.mixFrac, whole.mixFrac);

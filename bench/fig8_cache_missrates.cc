@@ -22,7 +22,7 @@ main(int, char **argv)
     bench::banner("Cache miss rates: Whole / Regional / Reduced / "
                   "Warmup", "Figure 8(a)-(d)");
 
-    SuiteRunner runner(ExperimentConfig::paperDefaults());
+    ArtifactGraph graph(ExperimentConfig::paperDefaults());
     // Table rows are per-benchmark with combined "L1D | L2 | L3"
     // cells; CSV rows are per-(benchmark, run) with raw rates — the
     // two halves of the schema do not align, so rows go through the
@@ -39,7 +39,14 @@ main(int, char **argv)
                  {"", "l1d_miss"},
                  {"", "l2_miss"},
                  {"", "l3_miss"}});
-    runner.config().describe(sink.manifest());
+    graph.config().describe(sink.manifest());
+
+    const auto names = suiteNames();
+    const std::vector<ArtifactKind> targets = {
+        ArtifactKind::WholeCache, ArtifactKind::PointsCacheCold,
+        ArtifactKind::PointsCacheWarm};
+    graph.runSuite(names, targets);
+    graph.recordArtifacts(sink.manifest(), names, targets);
 
     auto cell = [](const AggregateCacheMetrics &m) {
         return fmt(m.l1dMissRate * 100, 1) + " | " +
@@ -56,12 +63,11 @@ main(int, char **argv)
     double errR[3] = {}, errRR[3] = {}, errW[3] = {};
     double n = 0.0;
     for (const auto &e : suiteTable()) {
-        auto whole = wholeAsAggregate(runner.wholeCache(e.name));
-        const auto &cold = runner.pointsCacheCold(e.name);
+        auto whole = wholeAsAggregate(graph.wholeCache(e.name));
+        const auto &cold = graph.pointsCacheCold(e.name);
         auto regional = aggregateCache(cold);
-        auto reduced = aggregateCache(
-            SuiteRunner::reduceToQuantile(cold, 0.9));
-        auto warm = aggregateCache(runner.pointsCacheWarm(e.name));
+        auto reduced = aggregateCache(reduceToQuantile(cold, 0.9));
+        auto warm = aggregateCache(graph.pointsCacheWarm(e.name));
 
         sink.tableOnlyRow({e.name, cell(whole), cell(regional),
                            cell(reduced), cell(warm)});

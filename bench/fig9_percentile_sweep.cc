@@ -19,7 +19,9 @@ main(int, char **argv)
     bench::banner("Accuracy/runtime trade-off vs simulation-point "
                   "percentile", "Figure 9");
 
-    SuiteRunner runner(ExperimentConfig::paperDefaults());
+    ArtifactGraph graph(ExperimentConfig::paperDefaults());
+    graph.runSuite(suiteNames(), {ArtifactKind::WholeCache,
+                                  ArtifactKind::PointsCacheCold});
     ReplayCostModel cost;
     const double percentiles[] = {1.0, 0.9, 0.8, 0.7, 0.6, 0.5};
 
@@ -35,9 +37,9 @@ main(int, char **argv)
         double mixErr = 0, err[3] = {}, execS = 0, pts = 0;
         double n = 0;
         for (const auto &e : suiteTable()) {
-            auto whole = wholeAsAggregate(runner.wholeCache(e.name));
-            auto sub = SuiteRunner::reduceToQuantile(
-                runner.pointsCacheCold(e.name), q);
+            auto whole = wholeAsAggregate(graph.wholeCache(e.name));
+            auto sub =
+                reduceToQuantile(graph.pointsCacheCold(e.name), q);
             auto agg = aggregateCache(sub);
 
             double m = 0;
@@ -54,7 +56,7 @@ main(int, char **argv)
             double paperScale =
                 e.paperInstrsB * 1e9 /
                 static_cast<double>(
-                    runner.spec(e.name).totalInstrs());
+                    graph.spec(e.name).totalInstrs());
             execS += cost.regionalSeconds(
                 static_cast<double>(agg.executedInstrs) *
                     paperScale,

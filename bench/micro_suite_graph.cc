@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Suite-scheduling microbench: wall time of a bulk suite run driven
+ * serially (one benchmark, one stage at a time) vs the artifact
+ * graph's cross-benchmark scheduler at the configured SPLAB_THREADS.
+ * Re-checks the determinism contract along the way: both drivers
+ * must produce byte-identical artifacts.
+ *
+ * Output: paper-style table, "<binary>.csv", and a
+ * "BENCH_suite_graph.json" baseline for perf tracking.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "bench_util.hh"
+#include "support/thread_pool.hh"
+
+namespace splab
+{
+namespace
+{
+
+/** Wall-time-free bytes of every target artifact of @p g. */
+std::vector<u8>
+resultBytes(ArtifactGraph &g, const std::vector<std::string> &benches)
+{
+    ByteWriter w;
+    for (const std::string &b : benches) {
+        ByteWriter sp;
+        serializeArtifact(sp, g.simpoints(b));
+        w.putVector(sp.bytes());
+
+        const CacheRunMetrics &whole = g.wholeCache(b);
+        w.put<u64>(whole.instrs);
+        for (double f : whole.mixFrac)
+            w.put<double>(f);
+        for (const LevelCounts *lc :
+             {&whole.l1i, &whole.l1d, &whole.l2, &whole.l3}) {
+            w.put<u64>(lc->accesses);
+            w.put<u64>(lc->misses);
+        }
+        w.put<u64>(whole.branches);
+
+        for (const PointCacheMetrics &p : g.pointsCacheCold(b)) {
+            w.put<double>(p.weight);
+            w.put<u64>(p.m.instrs);
+            for (const LevelCounts *lc :
+                 {&p.m.l1i, &p.m.l1d, &p.m.l2, &p.m.l3}) {
+                w.put<u64>(lc->accesses);
+                w.put<u64>(lc->misses);
+            }
+        }
+    }
+    return w.bytes();
+}
+
+double
+wallSeconds(const std::function<void()> &fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+} // namespace splab
+
+int
+main(int, char **argv)
+{
+    using namespace splab;
+
+    // A reduced scale keeps the serial leg tolerable; override to
+    // measure at full size.
+    setenv("SPLAB_SCALE", "0.1", 0);
+    const ExperimentConfig cfg = ExperimentConfig::paperDefaults();
+    const auto benches = suiteNames();
+    const std::vector<ArtifactKind> targets = {
+        ArtifactKind::SimPoints, ArtifactKind::WholeCache,
+        ArtifactKind::PointsCacheCold};
+    auto disabledCache = [] {
+        return std::make_shared<const ArtifactCache>(
+            ArtifactCache(""));
+    };
+
+    bench::banner("Suite scheduling: serial vs artifact graph",
+                  "cross-benchmark parallelism, cold artifact cache");
+
+    // Serial driver: the pre-graph shape — every benchmark walked to
+    // completion before the next one starts, one task at a time.
+    ThreadPool::setGlobalThreads(1);
+    ArtifactGraph serial(cfg, disabledCache());
+    double serialSec = wallSeconds([&] {
+        for (const std::string &b : benches) {
+            serial.simpoints(b);
+            serial.wholeCache(b);
+            serial.pointsCacheCold(b);
+        }
+    });
+    std::vector<u8> serialBytes = resultBytes(serial, benches);
+
+    // Graph driver at the configured thread count.
+    ThreadPool::setGlobalThreads(0);
+    std::size_t threads = parallelThreads();
+    ArtifactGraph graph(cfg, disabledCache());
+    double graphSec =
+        wallSeconds([&] { graph.runSuite(benches, targets); });
+    std::vector<u8> graphBytes = resultBytes(graph, benches);
+
+    bool identical = serialBytes == graphBytes;
+    double speedup = graphSec > 0.0 ? serialSec / graphSec : 0.0;
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw <= 1)
+        std::printf("note: 1 hardware thread available - wall-time "
+                    "speedup is bounded at 1x here;\nthe graph "
+                    "driver is checked for overhead and "
+                    "byte-equality only.\n\n");
+
+    TableWriter table("Suite wall time, " +
+                      std::to_string(benches.size()) +
+                      " benchmarks x " +
+                      std::to_string(targets.size()) + " targets");
+    table.header({"driver", "threads", "wall (s)", "speedup",
+                  "identical"});
+    table.row({"serial", "1", fmt(serialSec, 3), fmtX(1.0, 2), "-"});
+    table.row({"graph", std::to_string(threads), fmt(graphSec, 3),
+               fmtX(speedup, 2), identical ? "yes" : "NO"});
+    table.print();
+
+    CsvWriter csv;
+    csv.header({"driver", "threads", "wall_sec", "speedup",
+                "identical"});
+    csv.row({"serial", "1", fmt(serialSec, 4), "1.0", "1"});
+    csv.row({"graph", std::to_string(threads), fmt(graphSec, 4),
+             fmt(speedup, 3), identical ? "1" : "0"});
+    bench::saveCsv(csv, argv[0]);
+
+    const char *jsonPath = "BENCH_suite_graph.json";
+    if (std::FILE *f = std::fopen(jsonPath, "w")) {
+        std::fprintf(
+            f,
+            "{\"bench\":\"micro_suite_graph\",\"threads\":%zu,"
+            "\"hw_threads\":%u,\"benchmarks\":%zu,\"targets\":%zu,"
+            "\"serial_sec\":%.4f,\"graph_sec\":%.4f,"
+            "\"speedup\":%.3f,\"identical\":%s}\n",
+            threads, hw, benches.size(), targets.size(), serialSec,
+            graphSec, speedup, identical ? "true" : "false");
+        std::fclose(f);
+        std::printf("wrote %s\n", jsonPath);
+    }
+
+    if (!identical) {
+        std::printf("[FAIL] graph run differs from serial run\n");
+        return 1;
+    }
+    return 0;
+}

@@ -18,7 +18,7 @@ main(int, char **argv)
     bench::banner("SPEC CPU2017 simulation points",
                   "Table II (MaxK = 35, slice = 30M-equivalent)");
 
-    SuiteRunner runner(ExperimentConfig::paperDefaults());
+    ArtifactGraph graph(ExperimentConfig::paperDefaults());
     bench::ReportSink sink(
         argv[0], "Table II - SPEC CPU2017 Simulation Points");
     sink.schema({{"Benchmark", "benchmark"},
@@ -26,12 +26,18 @@ main(int, char **argv)
                  {"90-pct Simulation Points", "simpoints90"},
                  {"Paper SP", "paper_sp"},
                  {"Paper 90-pct", "paper_sp90"}});
-    runner.config().describe(sink.manifest());
+    graph.config().describe(sink.manifest());
+
+    const auto names = suiteNames();
+    const std::vector<ArtifactKind> targets = {
+        ArtifactKind::SimPoints};
+    graph.runSuite(names, targets);
+    graph.recordArtifacts(sink.manifest(), names, targets);
 
     double sumSp = 0.0, sumSp90 = 0.0;
     double paperSp = 0.0, paperSp90 = 0.0;
     for (const auto &e : suiteTable()) {
-        const SimPointResult &r = runner.simpoints(e.name);
+        const SimPointResult &r = graph.simpoints(e.name);
         std::size_t n = r.points.size();
         std::size_t n90 = r.topByWeight(0.9).size();
         sink.row({e.name, std::to_string(n), std::to_string(n90),

@@ -1,9 +1,35 @@
 #include "cache.hh"
 
 #include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/serialize.hh"
 
 namespace splab
 {
+
+const char *
+replacementPolicyName(ReplacementPolicy p)
+{
+    switch (p) {
+      case ReplacementPolicy::LRU:
+        return "lru";
+      case ReplacementPolicy::FIFO:
+        return "fifo";
+    }
+    return "unknown";
+}
+
+u64
+CacheParams::contentHash() const
+{
+    ByteWriter w;
+    w.putString(name);
+    w.put<u64>(sizeBytes);
+    w.put<u32>(ways);
+    w.put<u32>(lineBytes);
+    w.put<u8>(static_cast<u8>(replacement));
+    return hashBytes(w.bytes().data(), w.bytes().size());
+}
 
 CacheStats &
 CacheStats::operator+=(const CacheStats &o)
@@ -76,15 +102,20 @@ SetAssocCache::access(Addr addr, bool isWrite)
     }
 
     if (hit) {
-        // Move to front (true LRU order).
-        for (u32 i = pos; i > 0; --i) {
-            t[i] = t[i - 1];
-            v[i] = v[i - 1];
+        // LRU refreshes recency by moving the line to the front;
+        // FIFO keeps insertion order, so a hit changes nothing.
+        if (cacheParams.replacement == ReplacementPolicy::LRU) {
+            for (u32 i = pos; i > 0; --i) {
+                t[i] = t[i - 1];
+                v[i] = v[i - 1];
+            }
+            t[0] = tag;
+            v[0] = 1;
         }
-        t[0] = tag;
-        v[0] = 1;
     } else {
-        // Evict the LRU way (last slot) by shifting everything down.
+        // Both policies fill at the front and evict the last slot:
+        // under LRU that is the least recently used line, under FIFO
+        // the oldest insertion.
         for (u32 i = ways - 1; i > 0; --i) {
             t[i] = t[i - 1];
             v[i] = v[i - 1];

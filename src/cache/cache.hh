@@ -19,6 +19,15 @@
 namespace splab
 {
 
+/** Within-set victim selection policy. */
+enum class ReplacementPolicy : u8
+{
+    LRU = 0,  ///< true LRU (move-to-front recency order)
+    FIFO = 1, ///< insertion order; hits do not refresh
+};
+
+const char *replacementPolicyName(ReplacementPolicy p);
+
 /** Geometry of one cache level. */
 struct CacheParams
 {
@@ -26,8 +35,17 @@ struct CacheParams
     u64 sizeBytes = 32 * 1024;
     u32 ways = 8;        ///< 1 = direct-mapped
     u32 lineBytes = 64;
+    ReplacementPolicy replacement = ReplacementPolicy::LRU;
 
     u64 numSets() const { return sizeBytes / (static_cast<u64>(ways) * lineBytes); }
+
+    /**
+     * Stable hash of *every* configuration field (geometry and
+     * replacement policy alike).  Artifact-cache keys must use this
+     * — never a hand-picked subset of fields — so that any config
+     * change invalidates dependent cached artifacts.
+     */
+    u64 contentHash() const;
 };
 
 /** Hit/miss counters of one cache level. */
@@ -53,8 +71,8 @@ struct CacheStats
 };
 
 /**
- * One cache level with true-LRU replacement (move-to-front order
- * within each set).  Write misses allocate.
+ * One cache level with configurable replacement (true LRU or FIFO
+ * insertion order within each set).  Write misses allocate.
  */
 class SetAssocCache
 {

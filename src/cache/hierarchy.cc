@@ -1,9 +1,20 @@
 #include "hierarchy.hh"
 
 #include "support/logging.hh"
+#include "support/rng.hh"
 
 namespace splab
 {
+
+u64
+HierarchyConfig::contentHash() const
+{
+    u64 k = l1i.contentHash();
+    k = hashCombine(k, l1d.contentHash());
+    k = hashCombine(k, l2.contentHash());
+    k = hashCombine(k, l3.contentHash());
+    return k;
+}
 
 const std::string &
 cacheLevelName(CacheLevel l)

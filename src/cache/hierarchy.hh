@@ -44,6 +44,9 @@ struct HierarchyConfig
     CacheParams l1d;
     CacheParams l2;
     CacheParams l3;
+
+    /** Combined CacheParams::contentHash() over all four levels. */
+    u64 contentHash() const;
 };
 
 /**

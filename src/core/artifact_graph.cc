@@ -1,0 +1,543 @@
+#include "artifact_graph.hh"
+
+#include <array>
+#include <condition_variable>
+#include <cstdio>
+
+#include "obs/counters.hh"
+#include "obs/trace.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/thread_pool.hh"
+#include "workload/synthetic.hh"
+
+namespace splab
+{
+
+namespace
+{
+
+// Artifact blobs are written as raw struct bytes (putVector / put),
+// so the structs must be padding-free or cached blobs would embed
+// uninitialized bytes and break byte-level reproducibility (see the
+// SimPoint field-wise serializer for the one type that is not).
+static_assert(sizeof(LevelCounts) == 16);
+static_assert(sizeof(CacheRunMetrics) == 120);
+static_assert(sizeof(TimingRunMetrics) == 64);
+static_assert(sizeof(PointCacheMetrics) == 128);
+static_assert(sizeof(PointTimingMetrics) == 72);
+static_assert(sizeof(PerfCounters) == 48);
+
+/** Static description of one artifact kind. */
+struct KindInfo
+{
+    const char *name;     ///< cache-blob family + manifest key
+    const char *spanName; ///< trace span around load/compute
+    /** Version salt: bump the low digits when the producing
+     *  algorithm or serialized layout of this kind changes. */
+    u64 salt;
+    bool persisted;
+    std::vector<ArtifactKind> deps;
+};
+
+const KindInfo &
+kindInfo(ArtifactKind k)
+{
+    static const std::array<KindInfo, kNumArtifactKinds> table = {{
+        {"spec", "graph.spec", 0x7370656300000001ULL, false, {}},
+        {"bbvprofile", "graph.bbv_profile", 0x6262767000000001ULL,
+         false, {ArtifactKind::Spec}},
+        {"simpoints", "graph.simpoints", 0x73696d7000000001ULL,
+         true, {ArtifactKind::BbvProfile}},
+        {"wholecache", "graph.whole_cache", 0x7763616300000001ULL,
+         true, {ArtifactKind::Spec}},
+        {"pointscold", "graph.points_cache_cold",
+         0x70636f6c00000001ULL, true,
+         {ArtifactKind::Spec, ArtifactKind::SimPoints}},
+        {"pointswarm", "graph.points_cache_warm",
+         0x7077726d00000001ULL, true,
+         {ArtifactKind::Spec, ArtifactKind::SimPoints}},
+        {"wholetiming", "graph.whole_timing", 0x7774696d00000001ULL,
+         true, {ArtifactKind::Spec}},
+        {"native", "graph.native", 0x6e61746900000001ULL, true,
+         {ArtifactKind::Spec}},
+        {"pointstiming", "graph.points_timing",
+         0x7074696d00000001ULL, true,
+         {ArtifactKind::Spec, ArtifactKind::SimPoints}},
+    }};
+    return table[static_cast<u8>(k)];
+}
+
+} // namespace
+
+const char *
+artifactKindName(ArtifactKind k)
+{
+    return kindInfo(k).name;
+}
+
+const std::vector<ArtifactKind> &
+artifactKindDeps(ArtifactKind k)
+{
+    return kindInfo(k).deps;
+}
+
+bool
+artifactKindPersisted(ArtifactKind k)
+{
+    return kindInfo(k).persisted;
+}
+
+u64
+artifactKindSalt(ArtifactKind k)
+{
+    return kindInfo(k).salt;
+}
+
+void
+serializeArtifact(ByteWriter &w, const ArtifactValue &v)
+{
+    struct Visitor
+    {
+        ByteWriter &w;
+
+        void
+        operator()(const BenchmarkSpec &s)
+        {
+            s.serialize(w);
+        }
+        void
+        operator()(const std::vector<FrequencyVector> &bbvs)
+        {
+            w.put<u64>(bbvs.size());
+            for (const FrequencyVector &fv : bbvs)
+                w.putVector(fv.entries);
+        }
+        void
+        operator()(const SimPointResult &r)
+        {
+            serializeSimPoints(w, r);
+        }
+        void
+        operator()(const CacheRunMetrics &m)
+        {
+            w.put(m);
+        }
+        void
+        operator()(const std::vector<PointCacheMetrics> &pts)
+        {
+            w.putVector(pts);
+        }
+        void
+        operator()(const TimingRunMetrics &m)
+        {
+            w.put(m);
+        }
+        void
+        operator()(const PerfCounters &c)
+        {
+            w.put(c);
+        }
+        void
+        operator()(const std::vector<PointTimingMetrics> &pts)
+        {
+            w.putVector(pts);
+        }
+    };
+    std::visit(Visitor{w}, v);
+}
+
+ArtifactValue
+deserializeArtifact(ArtifactKind k, ByteReader &r)
+{
+    switch (k) {
+      case ArtifactKind::Spec:
+        return BenchmarkSpec::deserialize(r);
+      case ArtifactKind::BbvProfile: {
+        std::vector<FrequencyVector> bbvs(r.get<u64>());
+        for (FrequencyVector &fv : bbvs)
+            fv.entries = r.getVector<BbvEntry>();
+        return bbvs;
+      }
+      case ArtifactKind::SimPoints:
+        return deserializeSimPoints(r);
+      case ArtifactKind::WholeCache:
+        return r.get<CacheRunMetrics>();
+      case ArtifactKind::PointsCacheCold:
+      case ArtifactKind::PointsCacheWarm:
+        return r.getVector<PointCacheMetrics>();
+      case ArtifactKind::WholeTiming:
+        return r.get<TimingRunMetrics>();
+      case ArtifactKind::Native:
+        return r.get<PerfCounters>();
+      case ArtifactKind::PointsTiming:
+        return r.getVector<PointTimingMetrics>();
+    }
+    SPLAB_FATAL("unknown artifact kind ",
+                static_cast<int>(static_cast<u8>(k)));
+}
+
+u64
+ExperimentConfig::contentHash() const
+{
+    ByteWriter w;
+    w.put<u64>(simpoint.contentHash());
+    w.put<u64>(allcache.contentHash());
+    w.put<u64>(machine.contentHash());
+    w.put<u64>(warmupChunks);
+    w.put<double>(cost.wholeRate);
+    w.put<double>(cost.regionalRate);
+    w.put<double>(cost.pinballStartup);
+    w.put<double>(cost.loggerSlowdown);
+    w.put<double>(cost.nativeRate);
+    return hashBytes(w.bytes().data(), w.bytes().size());
+}
+
+void
+ExperimentConfig::describe(obs::RunManifest &m) const
+{
+    m.setConfig("simpoint.max_k", simpoint.maxK);
+    m.setConfig("simpoint.slice_instrs", u64{simpoint.sliceInstrs});
+    m.setConfig("simpoint.projection_dim", simpoint.projectionDim);
+    m.setConfig("simpoint.bic_fraction", simpoint.bicFraction);
+    m.setConfig("simpoint.restarts", simpoint.restarts);
+    m.setConfig("simpoint.max_iters", simpoint.maxIters);
+    m.setConfig("simpoint.sample_cap", simpoint.sampleCap);
+    m.setConfig("simpoint.merge_threshold", simpoint.mergeThreshold);
+    m.setConfig("simpoint.seed", simpoint.seed);
+    m.setConfig("warmup_chunks", warmupChunks);
+    auto level = [&](const char *name, const CacheParams &p) {
+        std::string base = std::string("allcache.") + name;
+        m.setConfig(base + ".size_bytes", p.sizeBytes);
+        m.setConfig(base + ".ways", p.ways);
+        m.setConfig(base + ".line_bytes", p.lineBytes);
+        m.setConfig(base + ".replacement",
+                    replacementPolicyName(p.replacement));
+    };
+    level("l1i", allcache.l1i);
+    level("l1d", allcache.l1d);
+    level("l2", allcache.l2);
+    level("l3", allcache.l3);
+    m.setConfig("machine.model", machine.model);
+    auto hashHex = [](u64 h) {
+        char hex[32];
+        std::snprintf(hex, sizeof(hex), "0x%016llx",
+                      static_cast<unsigned long long>(h));
+        return std::string(hex);
+    };
+    m.setConfig("machine.content_hash",
+                hashHex(machine.contentHash()));
+    m.setConfig("experiment.content_hash", hashHex(contentHash()));
+}
+
+/** Single-flight state of one (benchmark, kind) node. */
+struct ArtifactGraph::Node
+{
+    std::mutex mtx;
+    std::condition_variable cv;
+    enum State : u8
+    {
+        Empty,   ///< never requested
+        Busy,    ///< one thread is loading/computing
+        Ready,   ///< value valid; immutable from here on
+    } state = Empty;
+    ArtifactValue value;
+};
+
+ArtifactGraph::ArtifactGraph(ExperimentConfig cfg)
+    : ArtifactGraph(std::move(cfg),
+                    std::make_shared<const ArtifactCache>(
+                        ArtifactCache::fromEnv()))
+{
+}
+
+ArtifactGraph::ArtifactGraph(
+    ExperimentConfig cfg, std::shared_ptr<const ArtifactCache> cache)
+    : cfg(std::move(cfg)), cache(std::move(cache)),
+      pipe(this->cfg.simpoint, this->cache)
+{
+    SPLAB_ASSERT(this->cache != nullptr,
+                 "artifact graph needs a cache instance (may be "
+                 "disabled, not null)");
+}
+
+ArtifactGraph::~ArtifactGraph() = default;
+
+ArtifactGraph::Node &
+ArtifactGraph::nodeFor(const std::string &name, ArtifactKind kind)
+{
+    std::lock_guard<std::mutex> g(registryMtx);
+    auto &slot = nodes[{name, static_cast<u8>(kind)}];
+    if (!slot)
+        slot = std::make_unique<Node>();
+    return *slot;
+}
+
+u64
+ArtifactGraph::configSliceHash(ArtifactKind kind) const
+{
+    switch (kind) {
+      case ArtifactKind::Spec:
+        return 0; // the spec's own content hash is the key
+      case ArtifactKind::BbvProfile:
+        return hashCombine(0, u64{cfg.simpoint.sliceInstrs});
+      case ArtifactKind::SimPoints:
+        return cfg.simpoint.contentHash();
+      case ArtifactKind::WholeCache:
+      case ArtifactKind::PointsCacheCold:
+        return cfg.allcache.contentHash();
+      case ArtifactKind::PointsCacheWarm:
+        return hashCombine(cfg.allcache.contentHash(),
+                           cfg.warmupChunks);
+      case ArtifactKind::WholeTiming:
+      case ArtifactKind::Native:
+        return cfg.machine.contentHash();
+      case ArtifactKind::PointsTiming:
+        return hashCombine(cfg.machine.contentHash(),
+                           cfg.warmupChunks);
+    }
+    SPLAB_FATAL("unknown artifact kind ",
+                static_cast<int>(static_cast<u8>(kind)));
+}
+
+u64
+ArtifactGraph::artifactKey(const std::string &name,
+                           ArtifactKind kind)
+{
+    if (kind == ArtifactKind::Spec)
+        return hashCombine(artifactKindSalt(kind),
+                           spec(name).contentHash());
+    u64 k = hashCombine(artifactKindSalt(kind),
+                        configSliceHash(kind));
+    for (ArtifactKind d : artifactKindDeps(kind))
+        k = hashCombine(k, artifactKey(name, d));
+    return k;
+}
+
+ArtifactValue
+ArtifactGraph::computeValue(const std::string &name,
+                            ArtifactKind kind)
+{
+    switch (kind) {
+      case ArtifactKind::Spec:
+        return benchmarkByName(name);
+      case ArtifactKind::BbvProfile:
+        return pipe.profileBbvs(spec(name));
+      case ArtifactKind::SimPoints:
+        SPLAB_VERBOSE("simpoint selection: ", name);
+        return pickSimPoints(bbvProfile(name), cfg.simpoint);
+      case ArtifactKind::WholeCache:
+        SPLAB_INFORM("whole-run cache simulation: ", name);
+        return measureWholeCache(spec(name), cfg.allcache);
+      case ArtifactKind::PointsCacheCold:
+        SPLAB_INFORM("regional cache replays (cold): ", name);
+        return measurePointsCache(spec(name), simpoints(name),
+                                  cfg.allcache, 0);
+      case ArtifactKind::PointsCacheWarm:
+        SPLAB_INFORM("regional cache replays (warmup): ", name);
+        return measurePointsCache(spec(name), simpoints(name),
+                                  cfg.allcache, cfg.warmupChunks);
+      case ArtifactKind::WholeTiming:
+        SPLAB_INFORM("whole-run timing simulation: ", name);
+        return measureWholeTiming(spec(name), cfg.machine);
+      case ArtifactKind::Native: {
+        SPLAB_INFORM("native (perf) run: ", name);
+        SyntheticWorkload wl(spec(name));
+        NativeMachine hw(cfg.machine);
+        return hw.run(wl);
+      }
+      case ArtifactKind::PointsTiming:
+        SPLAB_INFORM("regional timing replays: ", name);
+        return measurePointsTiming(spec(name), simpoints(name),
+                                   cfg.machine, cfg.warmupChunks);
+    }
+    SPLAB_FATAL("unknown artifact kind ",
+                static_cast<int>(static_cast<u8>(kind)));
+}
+
+const ArtifactValue &
+ArtifactGraph::ensure(const std::string &name, ArtifactKind kind)
+{
+    static obs::Counter &hits =
+        obs::counter("graph.cache_hits",
+                     "artifact nodes served from the disk cache");
+    static obs::Counter &computed =
+        obs::counter("graph.nodes_computed",
+                     "artifact nodes computed fresh");
+
+    Node &n = nodeFor(name, kind);
+    std::unique_lock<std::mutex> lock(n.mtx);
+    if (n.state == Node::Ready)
+        return n.value;
+    if (n.state == Node::Busy) {
+        // Single-flight: another thread owns the computation; wait
+        // for its result instead of duplicating the work.
+        n.cv.wait(lock, [&] { return n.state == Node::Ready; });
+        return n.value;
+    }
+    n.state = Node::Busy;
+    lock.unlock();
+
+    const KindInfo &info = kindInfo(kind);
+    ArtifactValue v;
+    try {
+        obs::TraceSpan span(info.spanName);
+        bool loaded = false;
+        u64 key = 0;
+        if (info.persisted && cache->enabled()) {
+            key = artifactKey(name, kind);
+            CacheOutcome got = cache->load(info.name, key);
+            if (got.hit()) {
+                v = deserializeArtifact(kind, *got);
+                hits.add();
+                loaded = true;
+            }
+        }
+        if (!loaded) {
+            v = computeValue(name, kind);
+            computed.add();
+            if (info.persisted && cache->enabled()) {
+                ByteWriter w;
+                serializeArtifact(w, v);
+                cache->store(info.name, key, w);
+            }
+        }
+    } catch (...) {
+        // Re-open the node so a later request can retry, and wake
+        // current waiters into the retry path.
+        lock.lock();
+        n.state = Node::Empty;
+        n.cv.notify_all();
+        throw;
+    }
+
+    lock.lock();
+    n.value = std::move(v);
+    n.state = Node::Ready;
+    n.cv.notify_all();
+    return n.value;
+}
+
+const BenchmarkSpec &
+ArtifactGraph::spec(const std::string &name)
+{
+    return std::get<BenchmarkSpec>(ensure(name, ArtifactKind::Spec));
+}
+
+const std::vector<FrequencyVector> &
+ArtifactGraph::bbvProfile(const std::string &name)
+{
+    return std::get<std::vector<FrequencyVector>>(
+        ensure(name, ArtifactKind::BbvProfile));
+}
+
+const SimPointResult &
+ArtifactGraph::simpoints(const std::string &name)
+{
+    return std::get<SimPointResult>(
+        ensure(name, ArtifactKind::SimPoints));
+}
+
+const CacheRunMetrics &
+ArtifactGraph::wholeCache(const std::string &name)
+{
+    return std::get<CacheRunMetrics>(
+        ensure(name, ArtifactKind::WholeCache));
+}
+
+const std::vector<PointCacheMetrics> &
+ArtifactGraph::pointsCacheCold(const std::string &name)
+{
+    return std::get<std::vector<PointCacheMetrics>>(
+        ensure(name, ArtifactKind::PointsCacheCold));
+}
+
+const std::vector<PointCacheMetrics> &
+ArtifactGraph::pointsCacheWarm(const std::string &name)
+{
+    return std::get<std::vector<PointCacheMetrics>>(
+        ensure(name, ArtifactKind::PointsCacheWarm));
+}
+
+const TimingRunMetrics &
+ArtifactGraph::wholeTiming(const std::string &name)
+{
+    return std::get<TimingRunMetrics>(
+        ensure(name, ArtifactKind::WholeTiming));
+}
+
+const PerfCounters &
+ArtifactGraph::native(const std::string &name)
+{
+    return std::get<PerfCounters>(
+        ensure(name, ArtifactKind::Native));
+}
+
+const std::vector<PointTimingMetrics> &
+ArtifactGraph::pointsTiming(const std::string &name)
+{
+    return std::get<std::vector<PointTimingMetrics>>(
+        ensure(name, ArtifactKind::PointsTiming));
+}
+
+void
+ArtifactGraph::runSuite(const std::vector<std::string> &benchmarks,
+                        const std::vector<ArtifactKind> &targets)
+{
+    obs::TraceSpan span("graph.run_suite");
+
+    std::array<bool, kNumArtifactKinds> wanted{};
+    for (ArtifactKind t : targets)
+        wanted[static_cast<u8>(t)] = true;
+
+    // Only the requested targets fan out as tasks; dependencies
+    // resolve lazily inside ensure(), so a disk-cached downstream
+    // artifact never forces an upstream recompute.  Kind-major task
+    // order (kinds are declared in topological order) keeps
+    // concurrently claimed tasks on *different* benchmarks, which
+    // minimizes single-flight collisions, and lets a benchmark's
+    // dependents start the moment its own upstreams exist — no
+    // stage barriers anywhere.
+    std::vector<std::pair<std::size_t, ArtifactKind>> tasks;
+    for (std::size_t k = 0; k < kNumArtifactKinds; ++k)
+        if (wanted[k])
+            for (std::size_t b = 0; b < benchmarks.size(); ++b)
+                tasks.emplace_back(b, static_cast<ArtifactKind>(k));
+
+    static obs::Counter &scheduled =
+        obs::counter("graph.tasks_scheduled",
+                     "suite tasks fanned out by runSuite");
+    scheduled.add(tasks.size());
+
+    parallelFor(tasks.size(), [&](std::size_t i) {
+        ensure(benchmarks[tasks[i].first], tasks[i].second);
+    });
+}
+
+void
+ArtifactGraph::recordArtifacts(
+    obs::RunManifest &m, const std::vector<std::string> &benchmarks,
+    const std::vector<ArtifactKind> &targets)
+{
+    std::array<bool, kNumArtifactKinds> inClosure{};
+    // The kinds enum is in topological order, so one reverse pass
+    // suffices to close over transitive dependencies.
+    for (ArtifactKind t : targets)
+        inClosure[static_cast<u8>(t)] = true;
+    for (std::size_t k = kNumArtifactKinds; k-- > 0;)
+        if (inClosure[k])
+            for (ArtifactKind d :
+                 artifactKindDeps(static_cast<ArtifactKind>(k)))
+                inClosure[static_cast<u8>(d)] = true;
+
+    for (const std::string &b : benchmarks)
+        for (std::size_t k = 0; k < kNumArtifactKinds; ++k)
+            if (inClosure[k]) {
+                ArtifactKind kind = static_cast<ArtifactKind>(k);
+                m.addArtifact(
+                    std::string(artifactKindName(kind)) + "/" + b,
+                    artifactKey(b, kind));
+            }
+}
+
+} // namespace splab

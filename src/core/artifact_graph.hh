@@ -1,0 +1,331 @@
+/**
+ * @file
+ * The artifact graph: the experiment core as a typed,
+ * content-addressed stage DAG.
+ *
+ * Every figure/table bench needs some subset of nine artifact kinds
+ * per benchmark — executable spec, BBV profile, SimPoint selection,
+ * whole-run cache metrics, cold/warm per-point cache replays,
+ * whole-run timing, native perf counters, per-point timing replays.
+ * Each kind is a declared node with:
+ *
+ *  - typed dependencies on upstream kinds (a static DAG),
+ *  - a compute function (pure given its inputs and the config),
+ *  - a (de)serializer for the on-disk artifact cache, and
+ *  - a per-node version salt, bumped when the producing algorithm
+ *    or the serialized layout changes.
+ *
+ * Keying rule (Merkle-style): a node's disk-cache key is
+ *
+ *     key = H(salt, configSlice, key(dep_0), key(dep_1), ...)
+ *
+ * where configSlice hashes exactly the configuration fields the
+ * node's compute function reads (full CacheParams/MachineConfig
+ * content hashes — never hand-picked field subsets), and the source
+ * node's key is the content hash of the serialized benchmark spec.
+ * Keys are therefore cheap pure functions of the configuration: a
+ * warm lookup never computes upstream *values*, yet any change to
+ * an upstream definition, a config field or a version salt changes
+ * every downstream key.
+ *
+ * Scheduling: accessors compute lazily with single-flight per node
+ * (concurrent requests for the same node block until the one
+ * computation finishes).  runSuite() fans (benchmark x target) tasks
+ * over the global thread pool in topological kind order, so
+ * cross-benchmark parallelism is the default for suite-wide benches
+ * — while one benchmark's replays run, another's profile is being
+ * collected.  Determinism contract: node values are pure functions
+ * of (spec, config), tasks write only node-local state, and result
+ * collection is by (benchmark, kind) — never by completion order —
+ * so every artifact, CSV and deterministic manifest section is
+ * byte-identical at any SPLAB_THREADS setting and across cold/warm
+ * artifact-cache runs.
+ */
+
+#ifndef SPLAB_CORE_ARTIFACT_GRAPH_HH
+#define SPLAB_CORE_ARTIFACT_GRAPH_HH
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "costmodel.hh"
+#include "obs/manifest.hh"
+#include "pipeline.hh"
+#include "runs.hh"
+#include "scale.hh"
+#include "workload/suite.hh"
+
+namespace splab
+{
+
+/**
+ * Everything a suite-wide experiment can be configured with.
+ *
+ * Build configurations with the fluent interface:
+ *
+ *     ArtifactGraph graph(ExperimentConfig::paperDefaults()
+ *                             .withWarmupChunks(60)
+ *                             .withMaxK(20));
+ *
+ * The public fields remain for existing code (aggregate
+ * initialization, direct pokes) but are a deprecated spelling; new
+ * code should go through paperDefaults() + with*().
+ */
+struct ExperimentConfig
+{
+    SimPointConfig simpoint;                      ///< MaxK 35, 30M-eq
+    /** Table I hierarchy at model scale (far caches scaled with the
+     *  slice length; see scaleFarCaches()). */
+    HierarchyConfig allcache =
+        scaleFarCaches(tableIConfig(), scale::kFarCacheDivisor);
+    /** Table III machine at model scale. */
+    MachineConfig machine = [] {
+        MachineConfig m = tableIIIMachine();
+        m.caches =
+            scaleFarCaches(m.caches, scale::kFarCacheDivisor);
+        return m;
+    }();
+    /**
+     * Functional warm-up before each simulation point for the
+     * Warmup Regional Runs, in chunks.  120 chunks = 12 slices ~
+     * the paper's 500M warm-up cycles at paper scale.
+     */
+    u64 warmupChunks = 120;
+    ReplayCostModel cost;
+
+    /** The paper's operating point (Table I/III at model scale). */
+    static ExperimentConfig paperDefaults() { return {}; }
+
+    /// @name Fluent setters; each returns *this for chaining.
+    /// @{
+    ExperimentConfig &
+    withSimPoint(SimPointConfig c)
+    {
+        simpoint = c;
+        return *this;
+    }
+    ExperimentConfig &
+    withMaxK(u32 k)
+    {
+        simpoint.maxK = k;
+        return *this;
+    }
+    ExperimentConfig &
+    withSliceInstrs(ICount n)
+    {
+        simpoint.sliceInstrs = n;
+        return *this;
+    }
+    ExperimentConfig &
+    withSeed(u64 s)
+    {
+        simpoint.seed = s;
+        return *this;
+    }
+    ExperimentConfig &
+    withAllcache(HierarchyConfig h)
+    {
+        allcache = h;
+        return *this;
+    }
+    ExperimentConfig &
+    withMachine(MachineConfig m)
+    {
+        machine = m;
+        return *this;
+    }
+    ExperimentConfig &
+    withWarmupChunks(u64 n)
+    {
+        warmupChunks = n;
+        return *this;
+    }
+    ExperimentConfig &
+    withCost(ReplayCostModel c)
+    {
+        cost = c;
+        return *this;
+    }
+    /// @}
+
+    /**
+     * Stable hash over *every* configuration field, including those
+     * (like the replay cost model) that only shape derived report
+     * columns: the one-line answer to "were these the same
+     * experiment?".  Per-node cache keys use the narrower per-node
+     * config slices instead, so e.g. a warmupChunks change does not
+     * invalidate cold-replay artifacts.
+     */
+    u64 contentHash() const;
+
+    /** Dump the configuration into a run manifest. */
+    void describe(obs::RunManifest &m) const;
+};
+
+/** The artifact kinds, in topological (dependency) order. */
+enum class ArtifactKind : u8
+{
+    Spec = 0,        ///< executable benchmark spec (source node)
+    BbvProfile,      ///< one BBV per slice of the whole execution
+    SimPoints,       ///< SimPoint selection (BIC-chosen k)
+    WholeCache,      ///< Whole Run under ldstmix + allcache
+    PointsCacheCold, ///< per-point cold cache replays
+    PointsCacheWarm, ///< per-point replays with functional warm-up
+    WholeTiming,     ///< Whole Run under the timing model
+    Native,          ///< native-hardware perf counters
+    PointsTiming,    ///< per-point timing replays
+};
+
+constexpr std::size_t kNumArtifactKinds = 9;
+
+/** Stable artifact-kind name ("simpoints", "points_cache_cold"). */
+const char *artifactKindName(ArtifactKind k);
+
+/** Typed upstream dependencies of @p k (static DAG edges). */
+const std::vector<ArtifactKind> &artifactKindDeps(ArtifactKind k);
+
+/** Whether this kind is persisted in the on-disk artifact cache
+ *  (cheap or upstream-only kinds stay memory-resident). */
+bool artifactKindPersisted(ArtifactKind k);
+
+/** Per-node version salt (bump on algorithm/layout change). */
+u64 artifactKindSalt(ArtifactKind k);
+
+/** One artifact's value; the alternative is determined by the kind. */
+using ArtifactValue =
+    std::variant<BenchmarkSpec,                    // Spec
+                 std::vector<FrequencyVector>,     // BbvProfile
+                 SimPointResult,                   // SimPoints
+                 CacheRunMetrics,                  // WholeCache
+                 std::vector<PointCacheMetrics>,   // PointsCache*
+                 TimingRunMetrics,                 // WholeTiming
+                 PerfCounters,                     // Native
+                 std::vector<PointTimingMetrics>>; // PointsTiming
+
+/// @name Artifact (de)serialization for the on-disk cache
+/// @{
+void serializeArtifact(ByteWriter &w, const ArtifactValue &v);
+ArtifactValue deserializeArtifact(ArtifactKind k, ByteReader &r);
+/// @}
+
+/**
+ * Content-addressed, cross-benchmark-parallel experiment core.
+ *
+ * Thread-safe: accessors may be called concurrently (from inside
+ * runSuite() tasks or from user code); each node computes exactly
+ * once per process (single-flight) and at most once per cache
+ * lifetime on disk.
+ */
+class ArtifactGraph
+{
+  public:
+    explicit ArtifactGraph(ExperimentConfig cfg = ExperimentConfig());
+
+    /** Share an externally owned cache (see PinPointsPipeline). */
+    ArtifactGraph(ExperimentConfig cfg,
+                  std::shared_ptr<const ArtifactCache> cache);
+
+    ~ArtifactGraph(); // out-of-line: Node is incomplete here
+
+    const ExperimentConfig &config() const { return cfg; }
+    const PinPointsPipeline &pipeline() const { return pipe; }
+    const ArtifactCache &artifactCache() const { return *cache; }
+
+    /** Shared handle for wiring ad-hoc pipelines to this graph's
+     *  cache instance instead of constructing parallel ones. */
+    std::shared_ptr<const ArtifactCache> cacheHandle() const
+    {
+        return cache;
+    }
+
+    /// @name Typed artifact accessors (lazy, cached, thread-safe)
+    /// @{
+    /** Executable spec (scaled by SPLAB_SCALE). */
+    const BenchmarkSpec &spec(const std::string &name);
+
+    /** One BBV per slice of the whole execution. */
+    const std::vector<FrequencyVector> &
+    bbvProfile(const std::string &name);
+
+    /** SimPoint selection at the configured operating point. */
+    const SimPointResult &simpoints(const std::string &name);
+
+    /** Whole Run under ldstmix + allcache (Table I). */
+    const CacheRunMetrics &wholeCache(const std::string &name);
+
+    /** Per-point cold replays (Regional / Reduced Regional). */
+    const std::vector<PointCacheMetrics> &
+    pointsCacheCold(const std::string &name);
+
+    /** Per-point replays with functional cache warm-up. */
+    const std::vector<PointCacheMetrics> &
+    pointsCacheWarm(const std::string &name);
+
+    /** Whole run under the timing model (Table III machine). */
+    const TimingRunMetrics &wholeTiming(const std::string &name);
+
+    /** Native-hardware perf counters (full run + noise model). */
+    const PerfCounters &native(const std::string &name);
+
+    /** Per-point cold timing replays (Sniper with SimPoints). */
+    const std::vector<PointTimingMetrics> &
+    pointsTiming(const std::string &name);
+    /// @}
+
+    /**
+     * Content-addressed disk-cache key of (benchmark, kind): the
+     * Merkle hash over the node's salt, its config slice and its
+     * upstream keys.  Cheap — never computes artifact values.
+     */
+    u64 artifactKey(const std::string &name, ArtifactKind kind);
+
+    /**
+     * Compute @p targets for every benchmark in @p benchmarks,
+     * fanning (benchmark x artifact) tasks over the global thread
+     * pool (SPLAB_THREADS).  Tasks are issued in topological kind
+     * order with no stage barriers: a benchmark's replays start as
+     * soon as *its* upstream artifacts exist, regardless of how far
+     * other benchmarks have progressed.  After this returns, the
+     * accessors above are in-memory hits.  Byte-identical results at
+     * any thread count.
+     */
+    void runSuite(const std::vector<std::string> &benchmarks,
+                  const std::vector<ArtifactKind> &targets);
+
+    /**
+     * Record the content-addressed key of every (benchmark, kind) in
+     * the dependency closure of @p targets into the manifest's
+     * "artifacts" section — deterministic across thread counts and
+     * cache states, so two manifests disagree exactly where the
+     * experiments did.
+     */
+    void recordArtifacts(obs::RunManifest &m,
+                         const std::vector<std::string> &benchmarks,
+                         const std::vector<ArtifactKind> &targets);
+
+  private:
+    struct Node;
+
+    Node &nodeFor(const std::string &name, ArtifactKind kind);
+    const ArtifactValue &ensure(const std::string &name,
+                                ArtifactKind kind);
+    ArtifactValue computeValue(const std::string &name,
+                               ArtifactKind kind);
+    u64 configSliceHash(ArtifactKind kind) const;
+
+    ExperimentConfig cfg;
+    std::shared_ptr<const ArtifactCache> cache;
+    PinPointsPipeline pipe;
+
+    std::mutex registryMtx; ///< guards the node map only
+    std::map<std::pair<std::string, u8>, std::unique_ptr<Node>>
+        nodes;
+};
+
+} // namespace splab
+
+#endif // SPLAB_CORE_ARTIFACT_GRAPH_HH

@@ -1,200 +1,44 @@
 /**
  * @file
- * Shared experiment driver for the bench harness.
+ * Compatibility shim for the pre-graph experiment driver.
  *
- * Every figure/table bench needs some subset of: SimPoint selections,
- * whole-run cache metrics, per-point cache metrics (cold and warmed),
- * whole-run timing, per-point timing and native perf counters — for
- * each benchmark of the suite.  SuiteRunner computes them lazily and
- * caches them both in memory and on disk, so running all benches
- * costs one suite sweep, not ten.
+ * The experiment core now lives in artifact_graph.hh: ArtifactGraph
+ * replaces SuiteRunner's per-benchmark boolean-flag slots with a
+ * typed, content-addressed artifact DAG and a cross-benchmark
+ * parallel scheduler (runSuite).  SuiteRunner remains as a thin
+ * alias so out-of-tree users keep compiling; it adds nothing over
+ * ArtifactGraph except the historical reduceToQuantile spelling
+ * (now free functions in metrics.hh).  New code should use
+ * ArtifactGraph directly.
  */
 
 #ifndef SPLAB_CORE_EXPERIMENTS_HH
 #define SPLAB_CORE_EXPERIMENTS_HH
 
-#include <map>
-#include <string>
-
-#include "costmodel.hh"
-#include "obs/manifest.hh"
-#include "pipeline.hh"
-#include "runs.hh"
-#include "scale.hh"
-#include "workload/suite.hh"
+#include "artifact_graph.hh"
 
 namespace splab
 {
 
-/**
- * Everything a suite-wide experiment can be configured with.
- *
- * Build configurations with the fluent interface:
- *
- *     SuiteRunner runner(ExperimentConfig::paperDefaults()
- *                            .withWarmupChunks(60)
- *                            .withMaxK(20));
- *
- * The public fields remain for existing code (aggregate
- * initialization, direct pokes) but are a deprecated spelling; new
- * code should go through paperDefaults() + with*().
- */
-struct ExperimentConfig
-{
-    SimPointConfig simpoint;                      ///< MaxK 35, 30M-eq
-    /** Table I hierarchy at model scale (far caches scaled with the
-     *  slice length; see scaleFarCaches()). */
-    HierarchyConfig allcache =
-        scaleFarCaches(tableIConfig(), scale::kFarCacheDivisor);
-    /** Table III machine at model scale. */
-    MachineConfig machine = [] {
-        MachineConfig m = tableIIIMachine();
-        m.caches =
-            scaleFarCaches(m.caches, scale::kFarCacheDivisor);
-        return m;
-    }();
-    /**
-     * Functional warm-up before each simulation point for the
-     * Warmup Regional Runs, in chunks.  120 chunks = 12 slices ~
-     * the paper's 500M warm-up cycles at paper scale.
-     */
-    u64 warmupChunks = 120;
-    ReplayCostModel cost;
-
-    /** The paper's operating point (Table I/III at model scale). */
-    static ExperimentConfig paperDefaults() { return {}; }
-
-    /// @name Fluent setters; each returns *this for chaining.
-    /// @{
-    ExperimentConfig &
-    withSimPoint(SimPointConfig c)
-    {
-        simpoint = c;
-        return *this;
-    }
-    ExperimentConfig &
-    withMaxK(u32 k)
-    {
-        simpoint.maxK = k;
-        return *this;
-    }
-    ExperimentConfig &
-    withSliceInstrs(ICount n)
-    {
-        simpoint.sliceInstrs = n;
-        return *this;
-    }
-    ExperimentConfig &
-    withSeed(u64 s)
-    {
-        simpoint.seed = s;
-        return *this;
-    }
-    ExperimentConfig &
-    withAllcache(HierarchyConfig h)
-    {
-        allcache = h;
-        return *this;
-    }
-    ExperimentConfig &
-    withMachine(MachineConfig m)
-    {
-        machine = m;
-        return *this;
-    }
-    ExperimentConfig &
-    withWarmupChunks(u64 n)
-    {
-        warmupChunks = n;
-        return *this;
-    }
-    ExperimentConfig &
-    withCost(ReplayCostModel c)
-    {
-        cost = c;
-        return *this;
-    }
-    /// @}
-
-    /** Dump the configuration into a run manifest. */
-    void describe(obs::RunManifest &m) const;
-};
-
-/** Lazy, cached access to per-benchmark experiment artifacts. */
-class SuiteRunner
+/** Deprecated name for ArtifactGraph; see file comment. */
+class SuiteRunner : public ArtifactGraph
 {
   public:
-    explicit SuiteRunner(ExperimentConfig cfg = ExperimentConfig());
+    using ArtifactGraph::ArtifactGraph;
 
-    const ExperimentConfig &config() const { return cfg; }
-    const PinPointsPipeline &pipeline() const { return pipe; }
-
-    /** Executable spec (scaled by SPLAB_SCALE). */
-    const BenchmarkSpec &spec(const std::string &name);
-
-    /** SimPoint selection at the configured operating point. */
-    const SimPointResult &simpoints(const std::string &name);
-
-    /** Whole Run under ldstmix + allcache (Table I). */
-    const CacheRunMetrics &wholeCache(const std::string &name);
-
-    /** Per-point cold replays (Regional / Reduced Regional). */
-    const std::vector<PointCacheMetrics> &
-    pointsCacheCold(const std::string &name);
-
-    /** Per-point replays with functional cache warm-up. */
-    const std::vector<PointCacheMetrics> &
-    pointsCacheWarm(const std::string &name);
-
-    /** Whole run under the timing model (Table III machine). */
-    const TimingRunMetrics &wholeTiming(const std::string &name);
-
-    /** Native-hardware perf counters (full run + noise model). */
-    const PerfCounters &native(const std::string &name);
-
-    /** Per-point cold timing replays (Sniper with SimPoints). */
-    const std::vector<PointTimingMetrics> &
-    pointsTiming(const std::string &name);
-
-    /**
-     * Reduce per-point metrics to the heaviest points covering
-     * @p quantile of the weight (0.9 = Reduced Regional Run).
-     */
+    /** Historical spelling of splab::reduceToQuantile. */
     static std::vector<PointCacheMetrics>
     reduceToQuantile(const std::vector<PointCacheMetrics> &points,
-                     double quantile);
+                     double quantile)
+    {
+        return splab::reduceToQuantile(points, quantile);
+    }
     static std::vector<PointTimingMetrics>
     reduceToQuantile(const std::vector<PointTimingMetrics> &points,
-                     double quantile);
-
-  private:
-    struct PerBench
+                     double quantile)
     {
-        bool haveSpec = false;
-        BenchmarkSpec spec;
-        bool haveSimpoints = false;
-        SimPointResult simpoints;
-        bool haveWholeCache = false;
-        CacheRunMetrics wholeCache;
-        bool havePointsCold = false;
-        std::vector<PointCacheMetrics> pointsCold;
-        bool havePointsWarm = false;
-        std::vector<PointCacheMetrics> pointsWarm;
-        bool haveWholeTiming = false;
-        TimingRunMetrics wholeTiming;
-        bool haveNative = false;
-        PerfCounters nativeCounters;
-        bool havePointsTiming = false;
-        std::vector<PointTimingMetrics> pointsTiming;
-    };
-
-    PerBench &slot(const std::string &name);
-    u64 benchKey(const std::string &name, u64 extra);
-
-    ExperimentConfig cfg;
-    ArtifactCache cache;
-    PinPointsPipeline pipe;
-    std::map<std::string, PerBench> slots;
+        return splab::reduceToQuantile(points, quantile);
+    }
 };
 
 } // namespace splab

@@ -1,5 +1,7 @@
 #include "metrics.hh"
 
+#include <algorithm>
+
 #include "support/logging.hh"
 
 namespace splab
@@ -91,6 +93,51 @@ wholeAsAggregate(const CacheRunMetrics &whole)
     agg.l3Accesses = whole.l3.accesses;
     agg.wallSeconds = whole.wallSeconds;
     return agg;
+}
+
+namespace
+{
+
+template <typename P>
+std::vector<P>
+reduceImpl(const std::vector<P> &points, double quantile)
+{
+    std::vector<const P *> sorted;
+    sorted.reserve(points.size());
+    for (const auto &p : points)
+        sorted.push_back(&p);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const P *a, const P *b) {
+                  return a->weight > b->weight;
+              });
+    double total = 0.0;
+    for (const auto &p : points)
+        total += p.weight;
+    std::vector<P> kept;
+    double acc = 0.0;
+    for (const P *p : sorted) {
+        kept.push_back(*p);
+        acc += p->weight;
+        if (acc >= quantile * total - 1e-12)
+            break;
+    }
+    return kept;
+}
+
+} // namespace
+
+std::vector<PointCacheMetrics>
+reduceToQuantile(const std::vector<PointCacheMetrics> &points,
+                 double quantile)
+{
+    return reduceImpl(points, quantile);
+}
+
+std::vector<PointTimingMetrics>
+reduceToQuantile(const std::vector<PointTimingMetrics> &points,
+                 double quantile)
+{
+    return reduceImpl(points, quantile);
 }
 
 } // namespace splab

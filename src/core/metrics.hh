@@ -127,6 +127,17 @@ AggregateTimingMetrics aggregateTiming(
 /** View a whole run's metrics in the aggregate shape. */
 AggregateCacheMetrics wholeAsAggregate(const CacheRunMetrics &whole);
 
+/**
+ * Reduce per-point metrics to the heaviest points covering
+ * @p quantile of the weight (0.9 = Reduced Regional Run).
+ */
+std::vector<PointCacheMetrics>
+reduceToQuantile(const std::vector<PointCacheMetrics> &points,
+                 double quantile);
+std::vector<PointTimingMetrics>
+reduceToQuantile(const std::vector<PointTimingMetrics> &points,
+                 double quantile);
+
 } // namespace splab
 
 #endif // SPLAB_CORE_METRICS_HH

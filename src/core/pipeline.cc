@@ -68,8 +68,18 @@ deserializeSimPoints(ByteReader &r)
 
 PinPointsPipeline::PinPointsPipeline(SimPointConfig cfg,
                                      ArtifactCache cache)
+    : cfg(cfg),
+      cache(std::make_shared<const ArtifactCache>(std::move(cache)))
+{
+}
+
+PinPointsPipeline::PinPointsPipeline(
+    SimPointConfig cfg, std::shared_ptr<const ArtifactCache> cache)
     : cfg(cfg), cache(std::move(cache))
 {
+    SPLAB_ASSERT(this->cache != nullptr,
+                 "pipeline needs a cache instance (may be disabled, "
+                 "not null)");
 }
 
 std::vector<FrequencyVector>
@@ -90,7 +100,7 @@ PinPointsPipeline::computeOrLoad(const BenchmarkSpec &spec,
 {
     u64 key = hashCombine(
         hashCombine(spec.contentHash(), cfg.contentHash()), forcedK);
-    CacheOutcome cached = cache.load("simpoints", key);
+    CacheOutcome cached = cache->load("simpoints", key);
     if (cached.hit())
         return deserializeSimPoints(*cached);
 
@@ -103,7 +113,7 @@ PinPointsPipeline::computeOrLoad(const BenchmarkSpec &spec,
 
     ByteWriter w;
     serializeSimPoints(w, res);
-    cache.store("simpoints", key, w);
+    cache->store("simpoints", key, w);
     return res;
 }
 

@@ -11,6 +11,8 @@
 #ifndef SPLAB_CORE_PIPELINE_HH
 #define SPLAB_CORE_PIPELINE_HH
 
+#include <memory>
+
 #include "artifact_cache.hh"
 #include "pinball/pinball.hh"
 #include "simpoint/simpoint.hh"
@@ -26,6 +28,16 @@ class PinPointsPipeline
     explicit PinPointsPipeline(
         SimPointConfig cfg = SimPointConfig(),
         ArtifactCache cache = ArtifactCache::fromEnv());
+
+    /**
+     * Share an existing cache instance instead of owning one.  The
+     * experiment drivers (SuiteRunner / ArtifactGraph) construct a
+     * single ArtifactCache and hand it to every component, so there
+     * is one writability probe, one warn-once state and one counter
+     * stream per process — never parallel instances drifting apart.
+     */
+    PinPointsPipeline(SimPointConfig cfg,
+                      std::shared_ptr<const ArtifactCache> cache);
 
     const SimPointConfig &config() const { return cfg; }
 
@@ -51,7 +63,7 @@ class PinPointsPipeline
                                  u32 forcedK) const;
 
     SimPointConfig cfg;
-    ArtifactCache cache;
+    std::shared_ptr<const ArtifactCache> cache;
 };
 
 /// @name SimPointResult (de)serialization for the artifact cache

@@ -122,6 +122,15 @@ RunManifest::addOutputDigest(const std::string &path, u64 digest)
 }
 
 void
+RunManifest::addArtifact(const std::string &name, u64 key)
+{
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "0x%016llx",
+                  static_cast<unsigned long long>(key));
+    artifacts.set(name, JsonValue::string(hex));
+}
+
+void
 RunManifest::setTimingNote(const std::string &key, double value)
 {
     timingNotes.set(key, JsonValue::number(value));
@@ -150,6 +159,7 @@ RunManifest::build(bool includeTiming) const
         stages.push(std::move(st));
     }
     root.set("stages", std::move(stages));
+    root.set("artifacts", artifacts);
     root.set("outputs", outputs);
 
     if (includeTiming) {

@@ -69,6 +69,13 @@ class RunManifest
      */
     void addOutputDigest(const std::string &path, u64 digest);
 
+    /**
+     * Record one content-addressed artifact key (the "artifacts"
+     * section; deterministic).  @p name is "kind/benchmark", e.g.
+     * "simpoints/perlbench_r"; see ArtifactGraph::recordArtifacts.
+     */
+    void addArtifact(const std::string &name, u64 key);
+
     /** Volatile session note (lands in the "timing" section). */
     void setTimingNote(const std::string &key, double value);
 
@@ -90,6 +97,7 @@ class RunManifest
     std::string toolName;
     JsonValue config = JsonValue::object();
     JsonValue env = JsonValue::object();
+    JsonValue artifacts = JsonValue::object();
     JsonValue outputs = JsonValue::array();
     JsonValue timingNotes = JsonValue::object();
 };

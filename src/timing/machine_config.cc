@@ -21,12 +21,9 @@ MachineConfig::contentHash() const
     w.put<u32>(l3LatencyCycles);
     w.put<u32>(memLatencyCycles);
     w.put<u32>(predictorHistoryBits);
-    for (const CacheParams *p :
-         {&caches.l1i, &caches.l1d, &caches.l2, &caches.l3}) {
-        w.put<u64>(p->sizeBytes);
-        w.put<u32>(p->ways);
-        w.put<u32>(p->lineBytes);
-    }
+    // Full per-level hashes (geometry + replacement policy), not a
+    // hand-picked field subset: see CacheParams::contentHash().
+    w.put<u64>(caches.contentHash());
     return hashBytes(w.bytes().data(), w.bytes().size());
 }
 

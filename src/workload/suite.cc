@@ -365,4 +365,14 @@ spec2017Suite()
     return specs;
 }
 
+std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> names;
+    names.reserve(suiteTable().size());
+    for (const auto &e : suiteTable())
+        names.emplace_back(e.name);
+    return names;
+}
+
 } // namespace splab

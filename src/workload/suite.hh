@@ -62,6 +62,10 @@ BenchmarkSpec benchmarkByName(const std::string &name);
 /** Specs for the whole suite, in Table II order. */
 std::vector<BenchmarkSpec> spec2017Suite();
 
+/** Names of the whole suite, in Table II order (the benchmark axis
+ *  of ArtifactGraph::runSuite). */
+std::vector<std::string> suiteNames();
+
 /**
  * Design a phase-weight vector with @p n phases such that exactly
  * @p m90 phases (by descending weight) are needed to reach 90% of

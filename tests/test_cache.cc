@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "cache/hierarchy.hh"
 
 namespace splab
@@ -98,6 +100,83 @@ TEST(Cache, ReadWriteCountedSeparately)
     EXPECT_EQ(s.readMisses, 1u);
     EXPECT_EQ(s.writeAccesses, 2u);
     EXPECT_EQ(s.writeMisses, 1u);
+}
+
+TEST(Cache, FifoEvictsByInsertionOrderNotRecency)
+{
+    // 2-way, 256 B, 64 B lines -> 2 sets; set-0 lines are multiples
+    // of 128.  Fill with A, B, re-touch A, then insert C:
+    //  - LRU refreshed A on the hit, so C evicts B;
+    //  - FIFO keeps insertion order, so C evicts A.
+    CacheParams p{"fifo", 256, 2, 64, ReplacementPolicy::FIFO};
+    const Addr A = 0, B = 128, C = 256;
+
+    SetAssocCache lru(
+        CacheParams{"lru", 256, 2, 64, ReplacementPolicy::LRU});
+    SetAssocCache fifo(p);
+    for (SetAssocCache *c : {&lru, &fifo}) {
+        EXPECT_FALSE(c->access(A, false));
+        EXPECT_FALSE(c->access(B, false));
+        EXPECT_TRUE(c->access(A, false));
+        EXPECT_FALSE(c->access(C, false)); // evicts B (LRU) / A (FIFO)
+    }
+    // Probe the survivor first: probing the victim would itself
+    // evict in a 2-way set.
+    EXPECT_TRUE(lru.access(A, false));
+    EXPECT_FALSE(lru.access(B, false));
+
+    EXPECT_TRUE(fifo.access(B, false));
+    EXPECT_FALSE(fifo.access(A, false));
+}
+
+TEST(Cache, ContentHashCoversEveryConfigField)
+{
+    // Artifact-cache keys hash the *full* CacheParams; any field
+    // change — geometry or policy — must produce a fresh key.
+    CacheParams base = smallCache(4);
+    std::vector<CacheParams> variants;
+    {
+        CacheParams c = base;
+        c.sizeBytes *= 2;
+        variants.push_back(c);
+    }
+    {
+        CacheParams c = base;
+        c.ways *= 2;
+        variants.push_back(c);
+    }
+    {
+        CacheParams c = base;
+        c.lineBytes *= 2;
+        variants.push_back(c);
+    }
+    {
+        CacheParams c = base;
+        c.replacement = ReplacementPolicy::FIFO;
+        variants.push_back(c);
+    }
+
+    std::set<u64> hashes = {base.contentHash()};
+    for (const CacheParams &c : variants)
+        hashes.insert(c.contentHash());
+    EXPECT_EQ(hashes.size(), variants.size() + 1);
+
+    // The hash identifies the configuration, not the instance.
+    EXPECT_EQ(base.contentHash(), smallCache(4).contentHash());
+}
+
+TEST(Hierarchy, ContentHashSeesEveryLevel)
+{
+    HierarchyConfig base = tableIConfig();
+    std::set<u64> hashes = {base.contentHash()};
+    for (CacheParams HierarchyConfig::*level :
+         {&HierarchyConfig::l1i, &HierarchyConfig::l1d,
+          &HierarchyConfig::l2, &HierarchyConfig::l3}) {
+        HierarchyConfig c = tableIConfig();
+        (c.*level).replacement = ReplacementPolicy::FIFO;
+        hashes.insert(c.contentHash());
+    }
+    EXPECT_EQ(hashes.size(), 5u);
 }
 
 TEST(Cache, MissRateComputation)

@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/artifact_graph.hh"
 #include "core/pipeline.hh"
+#include "obs/json.hh"
 #include "core/runs.hh"
 #include "pin/tools/ldstmix.hh"
 #include "pinball/logger.hh"
@@ -159,6 +161,45 @@ TEST(Determinism, RegionalReplayThreadCountInvariant)
     ASSERT_FALSE(timingBlobs[0].empty());
     EXPECT_EQ(timingBlobs[0], timingBlobs[1]);
     EXPECT_EQ(timingBlobs[0], timingBlobs[2]);
+}
+
+TEST(Determinism, ArtifactManifestSectionThreadCountInvariant)
+{
+    // Artifact keys are pure functions of (spec, config, salts), so
+    // the manifest's config + artifacts sections must render
+    // byte-identically at any SPLAB_THREADS setting — that is what
+    // makes run manifests diffable across machines.
+    const std::vector<std::string> benches = {"620.omnetpp_s",
+                                              "557.xz_r"};
+    std::vector<ArtifactKind> allKinds;
+    for (std::size_t k = 0; k < kNumArtifactKinds; ++k)
+        allKinds.push_back(static_cast<ArtifactKind>(k));
+
+    // Process-global counters/stages accumulate across iterations;
+    // the contract under test is the config + artifacts sections.
+    std::vector<std::string> renders;
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        ThreadPool::setGlobalThreads(threads);
+        ArtifactGraph g(ExperimentConfig::paperDefaults(),
+                        std::make_shared<const ArtifactCache>(
+                            ArtifactCache("")));
+        obs::RunManifest m("determinism-test");
+        g.config().describe(m);
+        g.recordArtifacts(m, benches, allKinds);
+        auto parsed = obs::parseJson(m.renderDeterministic());
+        ASSERT_TRUE(parsed.has_value());
+        const obs::JsonValue *config = parsed->find("config");
+        const obs::JsonValue *artifacts = parsed->find("artifacts");
+        ASSERT_NE(config, nullptr);
+        ASSERT_NE(artifacts, nullptr);
+        EXPECT_EQ(artifacts->members().size(),
+                  benches.size() * kNumArtifactKinds);
+        renders.push_back(config->render() + artifacts->render());
+    }
+    ThreadPool::setGlobalThreads(0);
+    ASSERT_FALSE(renders[0].empty());
+    EXPECT_EQ(renders[0], renders[1]);
+    EXPECT_EQ(renders[0], renders[2]);
 }
 
 TEST(Determinism, PinballRoundTripPreservesExecution)
