@@ -1,0 +1,654 @@
+/**
+ * @file
+ * Engine microbench: the fused single-pass whole-run measurement
+ * (measureWholeFused: allcache + ldstmix + branchprofile + timing +
+ * BBV in one traversal) against the legacy three-pass pipeline, and
+ * batched event delivery (one onBatch per chunk) against per-block
+ * fan-out.
+ *
+ * The legacy baseline is a faithful replica of the pre-optimization
+ * stack carried inside this bench: per-access tag-shift
+ * recomputation, separate tag/valid arrays probed with a branchy
+ * scan, element-wise LRU/FIFO shifting, and one virtual onBlock per
+ * (block, tool).  It doubles as an independent reference: every
+ * comparison asserts byte-equality of the deterministic results and
+ * the bench exits nonzero on any mismatch.  Wall times go to the
+ * paper-style tables, "<binary>.csv" and a "BENCH_engine.json"
+ * baseline for perf tracking.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+#include "bench_util.hh"
+#include "core/runs.hh"
+#include "pin/engine.hh"
+#include "pin/tools/allcache.hh"
+#include "pin/tools/bbv_tool.hh"
+#include "pin/tools/branch_profile.hh"
+#include "pin/tools/ldstmix.hh"
+#include "support/serialize.hh"
+#include "timing/interval_core.hh"
+#include "workload/suite.hh"
+
+namespace splab
+{
+namespace
+{
+
+double
+wallSeconds(const std::function<void()> &fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+// ===================================================================
+// Legacy reference stack: the cache model and event delivery exactly
+// as they stood before the fused/batched engine.  Kept verbatim
+// (slow tag math and all) — this is the measured baseline, and the
+// optimized stack must reproduce its results bit-for-bit.
+// ===================================================================
+
+u32
+legacyLog2(u64 v)
+{
+    u32 n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** The seed SetAssocCache: tag shift recomputed per access, separate
+ *  validity array, element-wise replacement shifting. */
+class LegacyCache
+{
+  public:
+    explicit LegacyCache(const CacheParams &params)
+        : cacheParams(params), ways(params.ways)
+    {
+        u64 sets = params.numSets();
+        setMask = sets - 1;
+        lineShift = legacyLog2(params.lineBytes);
+        tags.assign(sets * ways, 0);
+        valid.assign(sets * ways, 0);
+    }
+
+    bool
+    access(Addr addr, bool isWrite)
+    {
+        u64 line = addr >> lineShift;
+        u64 set = line & setMask;
+        u64 tag = line >> legacyLog2(setMask + 1);
+
+        u64 *t = &tags[set * ways];
+        u8 *v = &valid[set * ways];
+
+        bool hit = false;
+        u32 pos = 0;
+        for (u32 i = 0; i < ways; ++i) {
+            if (v[i] && t[i] == tag) {
+                hit = true;
+                pos = i;
+                break;
+            }
+        }
+
+        if (hit) {
+            if (cacheParams.replacement == ReplacementPolicy::LRU) {
+                for (u32 i = pos; i > 0; --i) {
+                    t[i] = t[i - 1];
+                    v[i] = v[i - 1];
+                }
+                t[0] = tag;
+                v[0] = 1;
+            }
+        } else {
+            for (u32 i = ways - 1; i > 0; --i) {
+                t[i] = t[i - 1];
+                v[i] = v[i - 1];
+            }
+            t[0] = tag;
+            v[0] = 1;
+        }
+
+        ++stats.accesses;
+        if (isWrite) {
+            ++stats.writeAccesses;
+            if (!hit)
+                ++stats.writeMisses;
+        } else {
+            ++stats.readAccesses;
+            if (!hit)
+                ++stats.readMisses;
+        }
+        if (!hit)
+            ++stats.misses;
+        return hit;
+    }
+
+    CacheStats stats;
+
+  private:
+    CacheParams cacheParams;
+    u64 setMask;
+    u32 lineShift;
+    u32 ways;
+    std::vector<u64> tags;
+    std::vector<u8> valid;
+};
+
+/** The seed hierarchy walk: L1 -> L2 -> L3 -> memory. */
+struct LegacyHierarchy
+{
+    LegacyCache l1i, l1d, l2, l3;
+
+    explicit LegacyHierarchy(const HierarchyConfig &cfg)
+        : l1i(cfg.l1i), l1d(cfg.l1d), l2(cfg.l2), l3(cfg.l3)
+    {
+    }
+
+    HitLevel
+    accessData(Addr addr, bool isWrite)
+    {
+        if (l1d.access(addr, isWrite))
+            return HitLevel::L1;
+        if (l2.access(addr, isWrite))
+            return HitLevel::L2;
+        if (l3.access(addr, isWrite))
+            return HitLevel::L3;
+        return HitLevel::Memory;
+    }
+
+    HitLevel
+    accessInstr(Addr pc)
+    {
+        if (l1i.access(pc, false))
+            return HitLevel::L1;
+        if (l2.access(pc, false))
+            return HitLevel::L2;
+        if (l3.access(pc, false))
+            return HitLevel::L3;
+        return HitLevel::Memory;
+    }
+};
+
+/** The seed allcache tool over the legacy hierarchy. */
+class LegacyAllCacheTool : public PinTool
+{
+  public:
+    explicit LegacyAllCacheTool(const HierarchyConfig &config)
+        : caches(config)
+    {
+    }
+
+    const char *name() const override { return "legacy-allcache"; }
+    bool wantsMemory() const override { return true; }
+
+    void
+    onBlock(const BlockRecord &rec, const MemAccess *accs,
+            std::size_t nAccs, const BranchRecord *) override
+    {
+        caches.accessInstr(rec.pc);
+        for (std::size_t i = 0; i < nAccs; ++i)
+            caches.accessData(accs[i].addr, accs[i].isWrite);
+    }
+
+    LegacyHierarchy caches;
+};
+
+/** The seed interval core over the legacy hierarchy.  Arithmetic is
+ *  copied operation-for-operation from IntervalCoreTool so cycle
+ *  counts compare bit-identically. */
+class LegacyIntervalCoreTool : public PinTool
+{
+  public:
+    explicit LegacyIntervalCoreTool(const MachineConfig &config)
+        : cfg(config), caches(config.caches),
+          predictor(config.predictorHistoryBits),
+          sinceMemMiss(config.robEntries)
+    {
+    }
+
+    const char *name() const override { return "legacy-core"; }
+    bool wantsMemory() const override { return true; }
+
+    void
+    onBlock(const BlockRecord &rec, const MemAccess *accs,
+            std::size_t nAccs, const BranchRecord *br) override
+    {
+        double cycles = static_cast<double>(rec.instrs) /
+                        static_cast<double>(cfg.dispatchWidth);
+
+        HitLevel fetch = caches.accessInstr(rec.pc);
+        if (fetch != HitLevel::L1)
+            cycles += exposedLatency(fetch) * 0.5;
+
+        sinceMemMiss += rec.instrs;
+        for (std::size_t i = 0; i < nAccs; ++i) {
+            HitLevel level =
+                caches.accessData(accs[i].addr, accs[i].isWrite);
+            double scale = accs[i].isWrite ? 0.3 : 1.0;
+            cycles += exposedLatency(level) * scale;
+        }
+
+        if (br) {
+            bool correct = predictor.update(br->pc, br->taken);
+            ++timing.branches;
+            if (!correct) {
+                ++timing.mispredicts;
+                cycles += cfg.branchMispredictPenalty;
+            }
+        }
+
+        timing.instrs += rec.instrs;
+        timing.cycles += cycles;
+    }
+
+    TimingStats timing;
+
+  private:
+    double
+    exposedLatency(HitLevel level)
+    {
+        switch (level) {
+          case HitLevel::L1:
+            return 0.0;
+          case HitLevel::L2:
+            ++timing.l2Hits;
+            return (cfg.l2LatencyCycles - cfg.l1LatencyCycles) * 0.35;
+          case HitLevel::L3:
+            ++timing.l3Hits;
+            return (cfg.l3LatencyCycles - cfg.l2LatencyCycles) * 0.55;
+          case HitLevel::Memory: {
+            ++timing.memAccesses;
+            double exposed =
+                static_cast<double>(cfg.memLatencyCycles);
+            if (sinceMemMiss < cfg.robEntries)
+                exposed *= 0.25;
+            sinceMemMiss = 0;
+            return exposed * 0.8;
+          }
+        }
+        return 0.0;
+    }
+
+    MachineConfig cfg;
+    LegacyHierarchy caches;
+    TournamentPredictor predictor;
+    ICount sinceMemMiss;
+};
+
+/** Forces per-block delivery: the default onBatch unpacks the chunk
+ *  and this sink forwards each block through Engine::onBlock — the
+ *  exact pre-batching dispatch path. */
+struct PerBlockFanout : EventSink
+{
+    Engine *engine = nullptr;
+
+    void
+    onBlock(const BlockRecord &rec, const MemAccess *accs,
+            std::size_t nAccs, const BranchRecord *br) override
+    {
+        engine->onBlock(rec, accs, nAccs, br);
+    }
+};
+
+/** Run the whole workload with per-block fan-out to @p tools,
+ *  preserving Engine::run's start/end hooks. */
+ICount
+runPerBlock(SyntheticWorkload &wl, std::vector<PinTool *> tools,
+            bool genAddresses)
+{
+    Engine engine;
+    for (PinTool *t : tools)
+        engine.attach(t);
+    PerBlockFanout fanout;
+    fanout.engine = &engine;
+    for (PinTool *t : tools)
+        t->onRunStart(wl);
+    wl.run(0, wl.totalChunks(), fanout, genAddresses);
+    for (PinTool *t : tools)
+        t->onRunEnd();
+    return engine.instructionsExecuted();
+}
+
+// ===================================================================
+// Result serialization for the equality checks
+// ===================================================================
+
+/** Deterministic bytes of cache metrics (wallSeconds excluded). */
+std::vector<u8>
+cacheBytesNoWall(const CacheRunMetrics &m)
+{
+    ByteWriter w;
+    w.put<u64>(m.instrs);
+    for (double f : m.mixFrac)
+        w.put<double>(f);
+    for (const LevelCounts *lc : {&m.l1i, &m.l1d, &m.l2, &m.l3}) {
+        w.put<u64>(lc->accesses);
+        w.put<u64>(lc->misses);
+    }
+    w.put<u64>(m.branches);
+    return w.bytes();
+}
+
+/** Deterministic bytes of timing metrics (wallSeconds excluded). */
+std::vector<u8>
+timingBytesNoWall(const TimingRunMetrics &m)
+{
+    ByteWriter w;
+    w.put<u64>(m.instrs);
+    w.put<double>(m.cycles);
+    w.put<u64>(m.branches);
+    w.put<u64>(m.mispredicts);
+    w.put<u64>(m.l2Hits);
+    w.put<u64>(m.l3Hits);
+    w.put<u64>(m.memAccesses);
+    return w.bytes();
+}
+
+CacheRunMetrics
+harvestLegacyCache(const LegacyAllCacheTool &cache,
+                   const LdStMixTool &mix,
+                   const BranchProfileTool &branches, ICount instrs)
+{
+    CacheRunMetrics m;
+    m.instrs = instrs;
+    m.mixFrac = mix.mix().fractions();
+    auto fill = [](LevelCounts &dst, const CacheStats &src) {
+        dst.accesses = src.accesses;
+        dst.misses = src.misses;
+    };
+    fill(m.l1i, cache.caches.l1i.stats);
+    fill(m.l1d, cache.caches.l1d.stats);
+    fill(m.l2, cache.caches.l2.stats);
+    fill(m.l3, cache.caches.l3.stats);
+    m.branches = branches.branchCount();
+    return m;
+}
+
+TimingRunMetrics
+harvestLegacyTiming(const LegacyIntervalCoreTool &core)
+{
+    const TimingStats &t = core.timing;
+    TimingRunMetrics m;
+    m.instrs = t.instrs;
+    m.cycles = t.cycles;
+    m.branches = t.branches;
+    m.mispredicts = t.mispredicts;
+    m.l2Hits = t.l2Hits;
+    m.l3Hits = t.l3Hits;
+    m.memAccesses = t.memAccesses;
+    return m;
+}
+
+bool
+bbvsEqual(const std::vector<FrequencyVector> &a,
+          const std::vector<FrequencyVector> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t s = 0; s < a.size(); ++s) {
+        if (a[s].entries.size() != b[s].entries.size())
+            return false;
+        for (std::size_t i = 0; i < a[s].entries.size(); ++i)
+            if (a[s].entries[i].block != b[s].entries[i].block ||
+                a[s].entries[i].weight != b[s].entries[i].weight)
+                return false;
+    }
+    return true;
+}
+
+/** Deterministic bytes of a current-stack tool set after a run. */
+std::vector<u8>
+toolBytes(const AllCacheTool &cache, const LdStMixTool &mix,
+          const BranchProfileTool &branches,
+          const IntervalCoreTool &core)
+{
+    ByteWriter w;
+    const CacheHierarchy &h = cache.hierarchy();
+    for (CacheLevel l : {CacheLevel::L1I, CacheLevel::L1D,
+                         CacheLevel::L2, CacheLevel::L3}) {
+        w.put<u64>(h.levelStats(l).accesses);
+        w.put<u64>(h.levelStats(l).misses);
+    }
+    for (double f : mix.mix().fractions())
+        w.put<double>(f);
+    w.put<u64>(branches.branchCount());
+    w.put<u64>(branches.takenCount());
+    const TimingStats &t = core.stats();
+    w.put<u64>(t.instrs);
+    w.put<double>(t.cycles);
+    w.put<u64>(t.mispredicts);
+    w.put<u64>(t.l2Hits);
+    w.put<u64>(t.l3Hits);
+    w.put<u64>(t.memAccesses);
+    return w.bytes();
+}
+
+} // namespace
+} // namespace splab
+
+int
+main(int, char **argv)
+{
+    using namespace splab;
+
+    // A reduced scale keeps the legacy legs tolerable; override to
+    // measure at full size.
+    setenv("SPLAB_SCALE", "0.1", 0);
+    const ExperimentConfig cfg = ExperimentConfig::paperDefaults();
+    const auto benches = suiteNames();
+    bool identical = true;
+
+    bench::banner("Engine: fused whole run + batched dispatch",
+                  "one traversal vs the legacy three-pass pipeline");
+
+    // ---- Part 1: whole-run measurement, three drivers ----
+    //   legacy x3: the pre-optimization stack (per-block dispatch,
+    //              seed cache model), one pass per view
+    //   current x3: today's stack, still one pass per view
+    //   fused: today's stack, all views in one traversal
+    double legacySec = 0.0, sepSec = 0.0, fusedSec = 0.0;
+    u64 totalInstrs = 0;
+    CsvWriter csv;
+    csv.header({"section", "bench", "legacy_sec", "current_sec",
+                "fused_sec", "speedup", "identical"});
+    for (const std::string &name : benches) {
+        BenchmarkSpec spec = benchmarkByName(name);
+        const ICount slice = cfg.simpoint.sliceInstrs;
+
+        // Legacy pipeline: BBV profile (no addresses), allcache run,
+        // timing run — three stream generations, per-block fan-out.
+        BbvTool legacyBbv(slice);
+        LegacyAllCacheTool legacyCache(cfg.allcache);
+        LdStMixTool legacyMix;
+        BranchProfileTool legacyBranches;
+        LegacyIntervalCoreTool legacyCore(cfg.machine);
+        ICount legacyInstrs = 0;
+        double leg = wallSeconds([&] {
+            SyntheticWorkload wb(spec);
+            runPerBlock(wb, {&legacyBbv}, false);
+            SyntheticWorkload wc(spec);
+            legacyInstrs = runPerBlock(
+                wc, {&legacyCache, &legacyMix, &legacyBranches},
+                true);
+            SyntheticWorkload wt(spec);
+            runPerBlock(wt, {&legacyCore}, true);
+        });
+
+        // Current stack, still three separate passes.
+        CacheRunMetrics cacheOnly;
+        TimingRunMetrics timingOnly;
+        std::vector<FrequencyVector> bbvsOnly;
+        double sep = wallSeconds([&] {
+            SyntheticWorkload wb(spec);
+            BbvTool bbv(slice);
+            Engine e;
+            e.attach(&bbv);
+            e.runWhole(wb);
+            bbvsOnly = bbv.vectors();
+            cacheOnly = measureWholeCache(spec, cfg.allcache);
+            timingOnly = measureWholeTiming(spec, cfg.machine);
+        });
+
+        // Fused: everything from one traversal.
+        FusedWholeResult fused;
+        double fsd = wallSeconds([&] {
+            fused = measureWholeFused(spec, cfg.allcache,
+                                      cfg.machine, slice);
+        });
+
+        std::vector<u8> fusedCacheB = cacheBytesNoWall(fused.cache);
+        std::vector<u8> fusedTimingB =
+            timingBytesNoWall(fused.timing);
+        bool same =
+            fusedCacheB == cacheBytesNoWall(harvestLegacyCache(
+                               legacyCache, legacyMix,
+                               legacyBranches, legacyInstrs)) &&
+            fusedCacheB == cacheBytesNoWall(cacheOnly) &&
+            fusedTimingB == timingBytesNoWall(
+                                harvestLegacyTiming(legacyCore)) &&
+            fusedTimingB == timingBytesNoWall(timingOnly) &&
+            bbvsEqual(fused.bbvs, legacyBbv.vectors()) &&
+            bbvsEqual(fused.bbvs, bbvsOnly);
+        if (!same)
+            std::printf("[FAIL] fused != legacy/current on %s\n",
+                        name.c_str());
+        identical = identical && same;
+        legacySec += leg;
+        sepSec += sep;
+        fusedSec += fsd;
+        totalInstrs += fused.cache.instrs;
+        csv.row({"whole_run", name, fmt(leg, 4), fmt(sep, 4),
+                 fmt(fsd, 4), fmt(fsd > 0.0 ? leg / fsd : 0.0, 3),
+                 same ? "1" : "0"});
+    }
+    double fusedSpeedup =
+        fusedSec > 0.0 ? legacySec / fusedSec : 0.0;
+    double fusedVsCurrent =
+        fusedSec > 0.0 ? sepSec / fusedSec : 0.0;
+
+    auto rate = [&](double sec) {
+        return fmt(sec > 0.0 ? totalInstrs / sec / 1e6 : 0.0, 1);
+    };
+    TableWriter fusedTable(
+        "Whole-run measurement, " + std::to_string(benches.size()) +
+        " benchmarks (BBV + cache + timing views)");
+    fusedTable.header(
+        {"driver", "wall (s)", "Minstr/s", "speedup", "identical"});
+    fusedTable.row({"legacy x3 (per-block)", fmt(legacySec, 3),
+                    rate(legacySec), fmtX(1.0, 2), "-"});
+    fusedTable.row({"current x3", fmt(sepSec, 3), rate(sepSec),
+                    fmtX(sepSec > 0.0 ? legacySec / sepSec : 0.0, 2),
+                    "yes"});
+    fusedTable.row({"fused", fmt(fusedSec, 3), rate(fusedSec),
+                    fmtX(fusedSpeedup, 2),
+                    identical ? "yes" : "NO"});
+    fusedTable.print();
+
+    // ---- Part 2: batched delivery vs per-block fan-out ----
+    // Same current-stack fused tool set, same stream; only the
+    // delivery grain differs.  A few benchmarks are enough - the
+    // dispatch cost is workload-independent.
+    const std::vector<std::string> dispatchBenches(
+        benches.begin(),
+        benches.begin() + std::min<std::size_t>(3, benches.size()));
+    double blockSec = 0.0, batchSec = 0.0;
+    bool dispatchSame = true;
+    for (const std::string &name : dispatchBenches) {
+        BenchmarkSpec spec = benchmarkByName(name);
+
+        SyntheticWorkload blockWl(spec);
+        AllCacheTool blockCache(cfg.allcache);
+        LdStMixTool blockMix;
+        BranchProfileTool blockBranches;
+        IntervalCoreTool blockCore(cfg.machine);
+        double bs = wallSeconds([&] {
+            runPerBlock(blockWl,
+                        {&blockCache, &blockMix, &blockBranches,
+                         &blockCore},
+                        true);
+        });
+
+        SyntheticWorkload batchWl(spec);
+        AllCacheTool batchCache(cfg.allcache);
+        LdStMixTool batchMix;
+        BranchProfileTool batchBranches;
+        IntervalCoreTool batchCore(cfg.machine);
+        Engine batchEngine;
+        batchEngine.attach(&batchCache);
+        batchEngine.attach(&batchMix);
+        batchEngine.attach(&batchBranches);
+        batchEngine.attach(&batchCore);
+        double ts =
+            wallSeconds([&] { batchEngine.runWhole(batchWl); });
+
+        bool same = toolBytes(blockCache, blockMix, blockBranches,
+                              blockCore) ==
+                    toolBytes(batchCache, batchMix, batchBranches,
+                              batchCore);
+        if (!same)
+            std::printf("[FAIL] batched != per-block on %s\n",
+                        name.c_str());
+        dispatchSame = dispatchSame && same;
+        blockSec += bs;
+        batchSec += ts;
+        csv.row({"dispatch", name, fmt(bs, 4), "", fmt(ts, 4),
+                 fmt(ts > 0.0 ? bs / ts : 0.0, 3),
+                 same ? "1" : "0"});
+    }
+    identical = identical && dispatchSame;
+    double dispatchSpeedup =
+        batchSec > 0.0 ? blockSec / batchSec : 0.0;
+
+    TableWriter dispatchTable(
+        "Event delivery, " +
+        std::to_string(dispatchBenches.size()) +
+        " benchmarks (fused tool stack)");
+    dispatchTable.header(
+        {"dispatch", "wall (s)", "speedup", "identical"});
+    dispatchTable.row(
+        {"per-block", fmt(blockSec, 3), fmtX(1.0, 2), "-"});
+    dispatchTable.row({"batched", fmt(batchSec, 3),
+                       fmtX(dispatchSpeedup, 2),
+                       dispatchSame ? "yes" : "NO"});
+    dispatchTable.print();
+
+    bench::saveCsv(csv, argv[0]);
+
+    const char *jsonPath = "BENCH_engine.json";
+    if (std::FILE *f = std::fopen(jsonPath, "w")) {
+        std::fprintf(
+            f,
+            "{\"bench\":\"micro_engine\",\"benchmarks\":%zu,"
+            "\"total_minstrs\":%.1f,"
+            "\"legacy_sec\":%.4f,\"current_sec\":%.4f,"
+            "\"fused_sec\":%.4f,"
+            "\"fused_speedup\":%.3f,\"fused_vs_current\":%.3f,"
+            "\"dispatch_benchmarks\":%zu,"
+            "\"per_block_sec\":%.4f,\"batched_sec\":%.4f,"
+            "\"dispatch_speedup\":%.3f,\"identical\":%s}\n",
+            benches.size(), totalInstrs / 1e6, legacySec, sepSec,
+            fusedSec, fusedSpeedup, fusedVsCurrent,
+            dispatchBenches.size(), blockSec, batchSec,
+            dispatchSpeedup, identical ? "true" : "false");
+        std::fclose(f);
+        std::printf("wrote %s\n", jsonPath);
+    }
+
+    if (!identical) {
+        std::printf("[FAIL] fused/batched results differ from the "
+                    "legacy pipeline\n");
+        return 1;
+    }
+    return 0;
+}

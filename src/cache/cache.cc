@@ -1,5 +1,7 @@
 #include "cache.hh"
 
+#include <cstring>
+
 #include "support/logging.hh"
 #include "support/rng.hh"
 #include "support/serialize.hh"
@@ -66,7 +68,7 @@ log2u(u64 v)
 } // namespace
 
 SetAssocCache::SetAssocCache(const CacheParams &params)
-    : cacheParams(params), ways(params.ways)
+    : cacheParams(params), ways(params.ways), lastLine(kNoLine)
 {
     SPLAB_ASSERT(params.ways >= 1, params.name, ": ways must be >= 1");
     SPLAB_ASSERT(isPow2(params.lineBytes),
@@ -77,24 +79,22 @@ SetAssocCache::SetAssocCache(const CacheParams &params)
                  " must be a nonzero power of two");
     setMask = sets - 1;
     lineShift = log2u(params.lineBytes);
-    tags.assign(sets * ways, 0);
-    valid.assign(sets * ways, 0);
+    tagShift = log2u(sets);
+    tags.assign(sets * ways, kNoLine);
 }
 
 bool
-SetAssocCache::access(Addr addr, bool isWrite)
+SetAssocCache::accessSlow(std::size_t base, u64 tag, bool isWrite)
 {
-    u64 line = addr >> lineShift;
-    u64 set = line & setMask;
-    u64 tag = line >> log2u(setMask + 1);
+    u64 *t = &tags[base];
 
-    u64 *t = &tags[set * ways];
-    u8 *v = &valid[set * ways];
-
+    // Way 0 was already probed (and missed) by the inline fast path.
+    // Empty ways hold kNoLine, which no real tag equals, so the scan
+    // needs no validity checks.
     bool hit = false;
     u32 pos = 0;
-    for (u32 i = 0; i < ways; ++i) {
-        if (v[i] && t[i] == tag) {
+    for (u32 i = 1; i < ways; ++i) {
+        if (t[i] == tag) {
             hit = true;
             pos = i;
             break;
@@ -105,46 +105,26 @@ SetAssocCache::access(Addr addr, bool isWrite)
         // LRU refreshes recency by moving the line to the front;
         // FIFO keeps insertion order, so a hit changes nothing.
         if (cacheParams.replacement == ReplacementPolicy::LRU) {
-            for (u32 i = pos; i > 0; --i) {
-                t[i] = t[i - 1];
-                v[i] = v[i - 1];
-            }
+            std::memmove(t + 1, t, pos * sizeof(u64));
             t[0] = tag;
-            v[0] = 1;
         }
     } else {
         // Both policies fill at the front and evict the last slot:
         // under LRU that is the least recently used line, under FIFO
         // the oldest insertion.
-        for (u32 i = ways - 1; i > 0; --i) {
-            t[i] = t[i - 1];
-            v[i] = v[i - 1];
-        }
+        std::memmove(t + 1, t, (ways - 1) * sizeof(u64));
         t[0] = tag;
-        v[0] = 1;
     }
 
-    if (!warming) {
-        ++stats.accesses;
-        if (isWrite) {
-            ++stats.writeAccesses;
-            if (!hit)
-                ++stats.writeMisses;
-        } else {
-            ++stats.readAccesses;
-            if (!hit)
-                ++stats.readMisses;
-        }
-        if (!hit)
-            ++stats.misses;
-    }
+    countAccess(isWrite, hit);
     return hit;
 }
 
 void
 SetAssocCache::flush()
 {
-    valid.assign(valid.size(), 0);
+    tags.assign(tags.size(), kNoLine);
+    lastLine = kNoLine; // the memoized line is no longer resident
 }
 
 } // namespace splab

@@ -82,8 +82,41 @@ class SetAssocCache
     /**
      * Look up (and on miss, allocate) the line containing @p addr.
      * @return true on hit.
+     *
+     * Inline fast paths, checked in order:
+     *
+     * 1. Same line as the previous access.  Every access leaves its
+     *    line resident (hits keep it, misses allocate it), so a
+     *    repeat is a guaranteed hit — and one that changes no
+     *    replacement state under either policy (an LRU hit already
+     *    moved the line to the front; FIFO hits never reorder).
+     *    Counters only, no probe.
+     * 2. Way-0 probe: way 0 holds the most recently used line under
+     *    LRU and the newest insertion under FIFO, and a hit there
+     *    changes no replacement state under either policy.
+     *
+     * The full way scan and reordering live out of line.
      */
-    bool access(Addr addr, bool isWrite);
+    bool
+    access(Addr addr, bool isWrite)
+    {
+        u64 line = addr >> lineShift;
+        if (line == lastLine) {
+            countAccess(isWrite, true);
+            return true;
+        }
+        // accessSlow() allocates on miss, so the line is resident
+        // once either branch below returns.
+        lastLine = line;
+        u64 set = line & setMask;
+        u64 tag = line >> tagShift;
+        std::size_t base = static_cast<std::size_t>(set) * ways;
+        if (tags[base] == tag) {
+            countAccess(isWrite, true);
+            return true;
+        }
+        return accessSlow(base, tag, isWrite);
+    }
 
     /** When warming, state updates but counters do not. */
     void setWarmup(bool on) { warming = on; }
@@ -93,22 +126,71 @@ class SetAssocCache
     void flush();
 
     /** Zero the counters; contents are kept. */
-    void resetStats() { stats = CacheStats(); }
+    void
+    resetStats()
+    {
+        for (u64 &c : cnt)
+            c = 0;
+    }
 
-    const CacheStats &statsRef() const { return stats; }
+    /** Counters, materialized from the internal 2x2 (write, hit)
+     *  matrix (one increment per access on the hot path). */
+    const CacheStats &
+    statsRef() const
+    {
+        statsCache.readMisses = cnt[0];
+        statsCache.readAccesses = cnt[0] + cnt[1];
+        statsCache.writeMisses = cnt[2];
+        statsCache.writeAccesses = cnt[2] + cnt[3];
+        statsCache.misses = cnt[0] + cnt[2];
+        statsCache.accesses = statsCache.readAccesses +
+                              statsCache.writeAccesses;
+        return statsCache;
+    }
     const CacheParams &params() const { return cacheParams; }
 
   private:
+    /** Probe ways [base+1, base+ways) and apply replacement; the
+     *  way-0 hit case is handled inline by access(). */
+    bool accessSlow(std::size_t base, u64 tag, bool isWrite);
+
+    /** One branchless increment into the (write, hit) matrix; the
+     *  public CacheStats shape is derived in statsRef(). */
+    void
+    countAccess(bool isWrite, bool hit)
+    {
+        if (warming)
+            return;
+        ++cnt[(static_cast<u32>(isWrite) << 1) |
+              static_cast<u32>(hit)];
+    }
+
     CacheParams cacheParams;
     u64 setMask;
     u32 lineShift;
+    /** Right-shift turning a line number into a tag: log2(numSets),
+     *  precomputed once (recomputing it per access costs a loop on
+     *  the hottest path of the whole simulator). */
+    u32 tagShift;
     u32 ways;
 
-    /** tags[set * ways + i], most recently used first. */
-    std::vector<u64> tags;
-    std::vector<u8> valid;
+    /** Line number of the previous access; kNoLine after a flush.
+     *  See access() fast path 1. */
+    u64 lastLine;
+    /** Sentinel no real line number or tag reaches (both are
+     *  addresses shifted right, so their top bits are always zero). */
+    static constexpr u64 kNoLine = ~u64{0};
 
-    CacheStats stats;
+    /** tags[set * ways + i], most recently used first; empty ways
+     *  hold kNoLine, so the probe is one equality scan with no
+     *  separate validity array. */
+    std::vector<u64> tags;
+
+    /** cnt[write*2 + hit]: read-miss, read-hit, write-miss,
+     *  write-hit. */
+    u64 cnt[4] = {0, 0, 0, 0};
+    /** Scratch for statsRef()'s materialized view. */
+    mutable CacheStats statsCache;
     bool warming = false;
 };
 

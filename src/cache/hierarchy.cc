@@ -73,25 +73,11 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
 }
 
 HitLevel
-CacheHierarchy::accessData(Addr addr, bool isWrite)
+CacheHierarchy::descendData(Addr addr, bool isWrite)
 {
-    if (level[1]->access(addr, isWrite))
-        return HitLevel::L1;
     if (level[2]->access(addr, isWrite))
         return HitLevel::L2;
     if (level[3]->access(addr, isWrite))
-        return HitLevel::L3;
-    return HitLevel::Memory;
-}
-
-HitLevel
-CacheHierarchy::accessInstr(Addr pc)
-{
-    if (level[0]->access(pc, false))
-        return HitLevel::L1;
-    if (level[2]->access(pc, false))
-        return HitLevel::L2;
-    if (level[3]->access(pc, false))
         return HitLevel::L3;
     return HitLevel::Memory;
 }

@@ -84,11 +84,42 @@ class CacheHierarchy
   public:
     explicit CacheHierarchy(const HierarchyConfig &config);
 
-    /** Data reference; walks L1D -> L2 -> L3. */
-    HitLevel accessData(Addr addr, bool isWrite);
+    /** Data reference; walks L1D -> L2 -> L3.  Inline: one call per
+     *  dynamic memory access is the hottest edge of the timing
+     *  simulator, and the L1 hit case must not pay a call. */
+    HitLevel
+    accessData(Addr addr, bool isWrite)
+    {
+        if (level[1]->access(addr, isWrite))
+            return HitLevel::L1;
+        return descendData(addr, isWrite);
+    }
 
     /** Instruction fetch; walks L1I -> L2 -> L3. */
-    HitLevel accessInstr(Addr pc);
+    HitLevel
+    accessInstr(Addr pc)
+    {
+        if (level[0]->access(pc, false))
+            return HitLevel::L1;
+        if (level[2]->access(pc, false))
+            return HitLevel::L2;
+        if (level[3]->access(pc, false))
+            return HitLevel::L3;
+        return HitLevel::Memory;
+    }
+
+    /**
+     * Continue a data reference past an L1D miss: walks L2 -> L3.
+     * Callers that probe L1D directly (via levelRef) use this for the
+     * miss-only descent; accessData() == L1D probe + descendData().
+     */
+    HitLevel descendData(Addr addr, bool isWrite);
+
+    /** Direct access to one level, for batch-mode L1 probe loops. */
+    SetAssocCache &levelRef(CacheLevel l)
+    {
+        return *level[static_cast<u8>(l)];
+    }
 
     /** Enable/disable warm-up (state updates, counters frozen). */
     void setWarmup(bool on);

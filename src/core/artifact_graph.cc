@@ -6,6 +6,7 @@
 
 #include "obs/counters.hh"
 #include "obs/trace.hh"
+#include "pinball/logger.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 #include "support/thread_pool.hh"
@@ -24,6 +25,7 @@ namespace
 static_assert(sizeof(LevelCounts) == 16);
 static_assert(sizeof(CacheRunMetrics) == 120);
 static_assert(sizeof(TimingRunMetrics) == 64);
+static_assert(sizeof(FusedWholeMetrics) == 184);
 static_assert(sizeof(PointCacheMetrics) == 128);
 static_assert(sizeof(PointTimingMetrics) == 72);
 static_assert(sizeof(PerfCounters) == 48);
@@ -49,21 +51,31 @@ kindInfo(ArtifactKind k)
          false, {ArtifactKind::Spec}},
         {"simpoints", "graph.simpoints", 0x73696d7000000001ULL,
          true, {ArtifactKind::BbvProfile}},
-        {"wholecache", "graph.whole_cache", 0x7763616300000001ULL,
+        // Memory-resident only: persisting it would double-store the
+        // cache/timing bytes already held by the projection blobs.
+        {"wholefused", "graph.whole_fused", 0x7766757300000001ULL,
+         false, {ArtifactKind::Spec}},
+        // Salt bumped (..01 -> ..02) with the fused-traversal
+        // rewrite so pre-fusion blobs are never mixed with
+        // post-fusion ones.
+        {"wholecache", "graph.whole_cache", 0x7763616300000002ULL,
          true, {ArtifactKind::Spec}},
+        {"wholetiming", "graph.whole_timing", 0x7774696d00000002ULL,
+         true, {ArtifactKind::Spec}},
+        {"regionalpinball", "graph.regional_pinball",
+         0x7270696e00000001ULL, false,
+         {ArtifactKind::Spec, ArtifactKind::SimPoints}},
         {"pointscold", "graph.points_cache_cold",
          0x70636f6c00000001ULL, true,
-         {ArtifactKind::Spec, ArtifactKind::SimPoints}},
+         {ArtifactKind::RegionalPinball}},
         {"pointswarm", "graph.points_cache_warm",
          0x7077726d00000001ULL, true,
-         {ArtifactKind::Spec, ArtifactKind::SimPoints}},
-        {"wholetiming", "graph.whole_timing", 0x7774696d00000001ULL,
-         true, {ArtifactKind::Spec}},
+         {ArtifactKind::RegionalPinball}},
         {"native", "graph.native", 0x6e61746900000001ULL, true,
          {ArtifactKind::Spec}},
         {"pointstiming", "graph.points_timing",
          0x7074696d00000001ULL, true,
-         {ArtifactKind::Spec, ArtifactKind::SimPoints}},
+         {ArtifactKind::RegionalPinball}},
     }};
     return table[static_cast<u8>(k)];
 }
@@ -119,9 +131,19 @@ serializeArtifact(ByteWriter &w, const ArtifactValue &v)
             serializeSimPoints(w, r);
         }
         void
+        operator()(const FusedWholeMetrics &m)
+        {
+            w.put(m);
+        }
+        void
         operator()(const CacheRunMetrics &m)
         {
             w.put(m);
+        }
+        void
+        operator()(const Pinball &p)
+        {
+            p.serialize(w);
         }
         void
         operator()(const std::vector<PointCacheMetrics> &pts)
@@ -161,13 +183,17 @@ deserializeArtifact(ArtifactKind k, ByteReader &r)
       }
       case ArtifactKind::SimPoints:
         return deserializeSimPoints(r);
+      case ArtifactKind::WholeFused:
+        return r.get<FusedWholeMetrics>();
       case ArtifactKind::WholeCache:
         return r.get<CacheRunMetrics>();
+      case ArtifactKind::WholeTiming:
+        return r.get<TimingRunMetrics>();
+      case ArtifactKind::RegionalPinball:
+        return Pinball::deserialize(r);
       case ArtifactKind::PointsCacheCold:
       case ArtifactKind::PointsCacheWarm:
         return r.getVector<PointCacheMetrics>();
-      case ArtifactKind::WholeTiming:
-        return r.get<TimingRunMetrics>();
       case ArtifactKind::Native:
         return r.get<PerfCounters>();
       case ArtifactKind::PointsTiming:
@@ -283,6 +309,14 @@ ArtifactGraph::configSliceHash(ArtifactKind kind) const
         return hashCombine(0, u64{cfg.simpoint.sliceInstrs});
       case ArtifactKind::SimPoints:
         return cfg.simpoint.contentHash();
+      case ArtifactKind::WholeFused:
+        // The fused value carries both views, so its key covers
+        // both config surfaces.
+        return hashCombine(cfg.allcache.contentHash(),
+                           cfg.machine.contentHash());
+      case ArtifactKind::RegionalPinball:
+        // Pure function of (spec, simpoints); no config of its own.
+        return 0;
       case ArtifactKind::WholeCache:
       case ArtifactKind::PointsCacheCold:
         return cfg.allcache.contentHash();
@@ -326,20 +360,30 @@ ArtifactGraph::computeValue(const std::string &name,
       case ArtifactKind::SimPoints:
         SPLAB_VERBOSE("simpoint selection: ", name);
         return pickSimPoints(bbvProfile(name), cfg.simpoint);
+      case ArtifactKind::WholeFused: {
+        SPLAB_INFORM("fused whole-run simulation: ", name);
+        FusedWholeResult r =
+            measureWholeFused(spec(name), cfg.allcache, cfg.machine);
+        return FusedWholeMetrics{r.cache, r.timing};
+      }
       case ArtifactKind::WholeCache:
-        SPLAB_INFORM("whole-run cache simulation: ", name);
-        return measureWholeCache(spec(name), cfg.allcache);
+        return wholeFused(name).cache;
+      case ArtifactKind::WholeTiming:
+        return wholeFused(name).timing;
+      case ArtifactKind::RegionalPinball: {
+        SPLAB_VERBOSE("regional pinball capture: ", name);
+        SyntheticWorkload wl(spec(name));
+        Pinball whole = Logger::captureWhole(wl);
+        return Logger::makeRegional(whole, simpoints(name));
+      }
       case ArtifactKind::PointsCacheCold:
         SPLAB_INFORM("regional cache replays (cold): ", name);
-        return measurePointsCache(spec(name), simpoints(name),
+        return measurePointsCache(regionalPinball(name),
                                   cfg.allcache, 0);
       case ArtifactKind::PointsCacheWarm:
         SPLAB_INFORM("regional cache replays (warmup): ", name);
-        return measurePointsCache(spec(name), simpoints(name),
+        return measurePointsCache(regionalPinball(name),
                                   cfg.allcache, cfg.warmupChunks);
-      case ArtifactKind::WholeTiming:
-        SPLAB_INFORM("whole-run timing simulation: ", name);
-        return measureWholeTiming(spec(name), cfg.machine);
       case ArtifactKind::Native: {
         SPLAB_INFORM("native (perf) run: ", name);
         SyntheticWorkload wl(spec(name));
@@ -348,7 +392,7 @@ ArtifactGraph::computeValue(const std::string &name,
       }
       case ArtifactKind::PointsTiming:
         SPLAB_INFORM("regional timing replays: ", name);
-        return measurePointsTiming(spec(name), simpoints(name),
+        return measurePointsTiming(regionalPinball(name),
                                    cfg.machine, cfg.warmupChunks);
     }
     SPLAB_FATAL("unknown artifact kind ",
@@ -438,11 +482,25 @@ ArtifactGraph::simpoints(const std::string &name)
         ensure(name, ArtifactKind::SimPoints));
 }
 
+const FusedWholeMetrics &
+ArtifactGraph::wholeFused(const std::string &name)
+{
+    return std::get<FusedWholeMetrics>(
+        ensure(name, ArtifactKind::WholeFused));
+}
+
 const CacheRunMetrics &
 ArtifactGraph::wholeCache(const std::string &name)
 {
     return std::get<CacheRunMetrics>(
         ensure(name, ArtifactKind::WholeCache));
+}
+
+const Pinball &
+ArtifactGraph::regionalPinball(const std::string &name)
+{
+    return std::get<Pinball>(
+        ensure(name, ArtifactKind::RegionalPinball));
 }
 
 const std::vector<PointCacheMetrics> &

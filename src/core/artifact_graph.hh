@@ -3,11 +3,12 @@
  * The artifact graph: the experiment core as a typed,
  * content-addressed stage DAG.
  *
- * Every figure/table bench needs some subset of nine artifact kinds
- * per benchmark — executable spec, BBV profile, SimPoint selection,
- * whole-run cache metrics, cold/warm per-point cache replays,
- * whole-run timing, native perf counters, per-point timing replays.
- * Each kind is a declared node with:
+ * Every figure/table bench needs some subset of eleven artifact
+ * kinds per benchmark — executable spec, BBV profile, SimPoint
+ * selection, fused whole-run measurement, whole-run cache metrics,
+ * whole-run timing, the regional pinball, cold/warm per-point cache
+ * replays, native perf counters, per-point timing replays.  Each
+ * kind is a declared node with:
  *
  *  - typed dependencies on upstream kinds (a static DAG),
  *  - a compute function (pure given its inputs and the config),
@@ -27,6 +28,15 @@
  * warm lookup never computes upstream *values*, yet any change to
  * an upstream definition, a config field or a version salt changes
  * every downstream key.
+ *
+ * Projection nodes: a node's declared deps and config slice describe
+ * what its *value* depends on, not how the compute function happens
+ * to route.  WholeCache and WholeTiming are computed by projecting
+ * the fused WholeFused traversal, but their values are byte-
+ * identical to the dedicated single-tool passes (tools are passive
+ * observers of one deterministic stream — tested), so their keys
+ * keep the original narrow slices: an allcache change still leaves
+ * WholeTiming's key (and cached blob) untouched.
  *
  * Scheduling: accessors compute lazily with single-flight per node
  * (concurrent requests for the same node block until the one
@@ -172,15 +182,17 @@ enum class ArtifactKind : u8
     Spec = 0,        ///< executable benchmark spec (source node)
     BbvProfile,      ///< one BBV per slice of the whole execution
     SimPoints,       ///< SimPoint selection (BIC-chosen k)
+    WholeFused,      ///< one fused traversal: cache + timing views
     WholeCache,      ///< Whole Run under ldstmix + allcache
+    WholeTiming,     ///< Whole Run under the timing model
+    RegionalPinball, ///< shared simulation-point pinball capture
     PointsCacheCold, ///< per-point cold cache replays
     PointsCacheWarm, ///< per-point replays with functional warm-up
-    WholeTiming,     ///< Whole Run under the timing model
     Native,          ///< native-hardware perf counters
     PointsTiming,    ///< per-point timing replays
 };
 
-constexpr std::size_t kNumArtifactKinds = 9;
+constexpr std::size_t kNumArtifactKinds = 11;
 
 /** Stable artifact-kind name ("simpoints", "points_cache_cold"). */
 const char *artifactKindName(ArtifactKind k);
@@ -200,9 +212,11 @@ using ArtifactValue =
     std::variant<BenchmarkSpec,                    // Spec
                  std::vector<FrequencyVector>,     // BbvProfile
                  SimPointResult,                   // SimPoints
+                 FusedWholeMetrics,                // WholeFused
                  CacheRunMetrics,                  // WholeCache
-                 std::vector<PointCacheMetrics>,   // PointsCache*
                  TimingRunMetrics,                 // WholeTiming
+                 Pinball,                          // RegionalPinball
+                 std::vector<PointCacheMetrics>,   // PointsCache*
                  PerfCounters,                     // Native
                  std::vector<PointTimingMetrics>>; // PointsTiming
 
@@ -254,8 +268,15 @@ class ArtifactGraph
     /** SimPoint selection at the configured operating point. */
     const SimPointResult &simpoints(const std::string &name);
 
+    /** Both whole-run views from one fused traversal; WholeCache
+     *  and WholeTiming are projections of this node. */
+    const FusedWholeMetrics &wholeFused(const std::string &name);
+
     /** Whole Run under ldstmix + allcache (Table I). */
     const CacheRunMetrics &wholeCache(const std::string &name);
+
+    /** Regional pinball (capture shared by all per-point replays). */
+    const Pinball &regionalPinball(const std::string &name);
 
     /** Per-point cold replays (Regional / Reduced Regional). */
     const std::vector<PointCacheMetrics> &

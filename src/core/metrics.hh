@@ -68,6 +68,19 @@ struct TimingRunMetrics
 };
 static_assert(std::is_trivially_copyable_v<TimingRunMetrics>);
 
+/**
+ * Both whole-run views measured by one fused traversal: the cache
+ * (ldstmix + allcache + branchprofile) metrics and the timing-model
+ * metrics of the same instruction stream.  WholeCache / WholeTiming
+ * artifacts are projections of this.
+ */
+struct FusedWholeMetrics
+{
+    CacheRunMetrics cache;
+    TimingRunMetrics timing;
+};
+static_assert(std::is_trivially_copyable_v<FusedWholeMetrics>);
+
 /** One simulation point's metrics plus its SimPoint weight. */
 struct PointCacheMetrics
 {

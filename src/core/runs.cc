@@ -8,6 +8,7 @@
 #include "pin/tools/allcache.hh"
 #include "pin/tools/branch_profile.hh"
 #include "pin/tools/ldstmix.hh"
+#include "pin/tools/bbv_tool.hh"
 #include "pinball/logger.hh"
 #include "pinball/replayer.hh"
 #include "support/logging.hh"
@@ -86,15 +87,55 @@ measureWholeCache(const BenchmarkSpec &spec,
                         secondsSince(t0));
 }
 
+FusedWholeResult
+measureWholeFused(const BenchmarkSpec &spec,
+                  const HierarchyConfig &caches,
+                  const MachineConfig &machine, ICount bbvSliceInstrs)
+{
+    obs::TraceSpan span("runs.whole_fused");
+    auto t0 = std::chrono::steady_clock::now();
+    SyntheticWorkload wl(spec);
+    AllCacheTool cache(caches);
+    LdStMixTool mix;
+    BranchProfileTool branches;
+    IntervalCoreTool core(machine);
+    std::unique_ptr<BbvTool> bbv;
+    Engine engine;
+    engine.attach(&cache);
+    engine.attach(&mix);
+    engine.attach(&branches);
+    engine.attach(&core);
+    if (bbvSliceInstrs > 0) {
+        bbv = std::make_unique<BbvTool>(bbvSliceInstrs);
+        engine.attach(bbv.get());
+    }
+    ICount instrs = engine.runWhole(wl);
+
+    double wall = secondsSince(t0);
+    FusedWholeResult r;
+    r.cache = harvestCache(cache, mix, branches, instrs, wall);
+    r.timing = harvestTiming(core, wall);
+    if (bbv)
+        r.bbvs = bbv->vectors();
+    return r;
+}
+
 std::vector<PointCacheMetrics>
 measurePointsCache(const BenchmarkSpec &spec,
                    const SimPointResult &simpoints,
                    const HierarchyConfig &caches, u64 warmupChunks)
 {
-    obs::TraceSpan span("runs.points_cache");
     SyntheticWorkload wl(spec);
     Pinball whole = Logger::captureWhole(wl);
     Pinball regional = Logger::makeRegional(whole, simpoints);
+    return measurePointsCache(regional, caches, warmupChunks);
+}
+
+std::vector<PointCacheMetrics>
+measurePointsCache(const Pinball &regional,
+                   const HierarchyConfig &caches, u64 warmupChunks)
+{
+    obs::TraceSpan span("runs.points_cache");
 
     // Each regional pinball replays in a fresh process: cold caches
     // unless explicitly warmed.  Replays are mutually independent,
@@ -156,10 +197,17 @@ measurePointsTiming(const BenchmarkSpec &spec,
                     const SimPointResult &simpoints,
                     const MachineConfig &machine, u64 warmupChunks)
 {
-    obs::TraceSpan span("runs.points_timing");
     SyntheticWorkload wl(spec);
     Pinball whole = Logger::captureWhole(wl);
     Pinball regional = Logger::makeRegional(whole, simpoints);
+    return measurePointsTiming(regional, machine, warmupChunks);
+}
+
+std::vector<PointTimingMetrics>
+measurePointsTiming(const Pinball &regional,
+                    const MachineConfig &machine, u64 warmupChunks)
+{
+    obs::TraceSpan span("runs.points_timing");
 
     // Cold core per point; see measurePointsCache for the
     // parallel-replay invariants.

@@ -12,6 +12,8 @@
 #include "cache/hierarchy.hh"
 #include "metrics.hh"
 #include "perf/native.hh"
+#include "pinball/pinball.hh"
+#include "simpoint/bbv.hh"
 #include "simpoint/simpoint.hh"
 #include "timing/machine_config.hh"
 #include "workload/benchmark_spec.hh"
@@ -26,6 +28,33 @@ CacheRunMetrics measureWholeCache(const BenchmarkSpec &spec,
                                   const HierarchyConfig &caches);
 
 /**
+ * Everything measureWholeFused() can produce from one traversal.
+ * The bbvs member is populated only when a nonzero slice length was
+ * requested.
+ */
+struct FusedWholeResult
+{
+    CacheRunMetrics cache;
+    TimingRunMetrics timing;
+    std::vector<FrequencyVector> bbvs;
+};
+
+/**
+ * Fused Whole Run: one traversal of the workload with the allcache,
+ * ldstmix, branchprofile and timing tools all attached (plus a BBV
+ * tool when @p bbvSliceInstrs is nonzero).  Produces byte-identical
+ * metrics to the separate measureWholeCache() / measureWholeTiming()
+ * / BBV-profiling passes — tools are passive observers of the same
+ * deterministic stream — for one generation of that stream instead
+ * of three.  Both wallSeconds fields record the single fused wall
+ * time.
+ */
+FusedWholeResult measureWholeFused(const BenchmarkSpec &spec,
+                                   const HierarchyConfig &caches,
+                                   const MachineConfig &machine,
+                                   ICount bbvSliceInstrs = 0);
+
+/**
  * Regional Run: replay each simulation point individually under
  * ldstmix + allcache, starting from cold microarchitectural state
  * (plus @p warmupChunks of functional cache warming when nonzero),
@@ -37,6 +66,15 @@ CacheRunMetrics measureWholeCache(const BenchmarkSpec &spec,
 std::vector<PointCacheMetrics> measurePointsCache(
     const BenchmarkSpec &spec, const SimPointResult &simpoints,
     const HierarchyConfig &caches, u64 warmupChunks = 0);
+
+/**
+ * Regional Run against an already-captured regional pinball.  The
+ * spec-based overload is capture + this; the artifact graph shares
+ * one RegionalPinball capture across the cache and timing replays.
+ */
+std::vector<PointCacheMetrics> measurePointsCache(
+    const Pinball &regional, const HierarchyConfig &caches,
+    u64 warmupChunks = 0);
 
 /** Whole run under the timing model (full-detail simulation). */
 TimingRunMetrics measureWholeTiming(const BenchmarkSpec &spec,
@@ -50,6 +88,11 @@ TimingRunMetrics measureWholeTiming(const BenchmarkSpec &spec,
 std::vector<PointTimingMetrics> measurePointsTiming(
     const BenchmarkSpec &spec, const SimPointResult &simpoints,
     const MachineConfig &machine, u64 warmupChunks = 0);
+
+/** Timing Regional Run against an already-captured regional pinball. */
+std::vector<PointTimingMetrics> measurePointsTiming(
+    const Pinball &regional, const MachineConfig &machine,
+    u64 warmupChunks = 0);
 
 } // namespace splab
 

@@ -11,6 +11,9 @@
 #ifndef SPLAB_ISA_EVENTS_HH
 #define SPLAB_ISA_EVENTS_HH
 
+#include <cstddef>
+#include <vector>
+
 #include "instr.hh"
 #include "support/types.hh"
 
@@ -48,6 +51,134 @@ struct BlockRecord
     InstrMix mix;            ///< per-MemClass breakdown (sums to instrs)
     u32 fpInstrs = 0;        ///< floating-point subset (informational)
     bool endsInBranch = false;
+};
+
+/**
+ * A batch of dynamic events in structure-of-arrays layout: one
+ * BlockRecord per dynamic block, all memory accesses flattened into
+ * one pool addressed by per-block offsets, and the terminating
+ * branches in a parallel array with a validity flag.
+ *
+ * The workload fills one batch per chunk and delivers it with a
+ * single sink callback, so engine dispatch costs ~(chunks x tools)
+ * virtual calls instead of ~(blocks x tools).  The arena is reusable:
+ * clear() keeps capacity, so steady-state batch construction does not
+ * allocate.
+ *
+ * Event content and order are exactly those of the per-block
+ * callbacks — batching is a pure delivery reordering, never a
+ * semantic change.
+ */
+class EventBatch
+{
+  public:
+    /** Drop all events; capacity is kept for reuse. */
+    void
+    clear()
+    {
+        blockRecs.clear();
+        accOff.assign(1, 0);
+        accUsed = 0;
+        branchRecs.clear();
+        branchFlag.clear();
+        totalInstrs = 0;
+    }
+
+    /**
+     * Scratch space for the next block's accesses: guarantees
+     * @p maxN writable slots at the pool tail and returns them.
+     * The pool only ever grows to its high-water mark, so repeated
+     * reservations are free after warm-up.
+     */
+    MemAccess *
+    reserveAccs(std::size_t maxN)
+    {
+        if (accPool.size() < accUsed + maxN)
+            accPool.resize(accUsed + maxN);
+        return accPool.data() + accUsed;
+    }
+
+    /**
+     * Append one block: @p rec, the first @p nAccs entries of the
+     * last reserveAccs() scratch, and its terminating branch
+     * (@p br ignored unless @p hasBranch).
+     */
+    void
+    push(const BlockRecord &rec, std::size_t nAccs,
+         const BranchRecord &br, bool hasBranch)
+    {
+        blockRecs.push_back(rec);
+        accUsed += static_cast<u32>(nAccs);
+        accOff.push_back(accUsed);
+        branchRecs.push_back(hasBranch ? br : BranchRecord{});
+        branchFlag.push_back(hasBranch ? 1 : 0);
+        totalInstrs += rec.instrs;
+    }
+
+    std::size_t numBlocks() const { return blockRecs.size(); }
+    bool empty() const { return blockRecs.empty(); }
+
+    /** Total instructions across the batch. */
+    ICount instrs() const { return totalInstrs; }
+
+    /// @name Per-block element access (the onBlock-compatible view)
+    /// @{
+    const BlockRecord &block(std::size_t i) const
+    {
+        return blockRecs[i];
+    }
+
+    std::size_t accCount(std::size_t i) const
+    {
+        return accOff[i + 1] - accOff[i];
+    }
+
+    /** Accesses of block @p i; null when it performed none. */
+    const MemAccess *
+    accs(std::size_t i) const
+    {
+        return accOff[i + 1] == accOff[i] ? nullptr
+                                          : accPool.data() + accOff[i];
+    }
+
+    /** Terminating branch of block @p i, or null. */
+    const BranchRecord *
+    branch(std::size_t i) const
+    {
+        return branchFlag[i] ? &branchRecs[i] : nullptr;
+    }
+    /// @}
+
+    /// @name Raw SoA views for batch-optimized tools
+    /// @{
+    const std::vector<BlockRecord> &blocks() const
+    {
+        return blockRecs;
+    }
+    /** Flattened access pool; block i owns [offsets()[i],
+     *  offsets()[i+1]). */
+    const std::vector<MemAccess> &accessPool() const
+    {
+        return accPool;
+    }
+    /** numBlocks() + 1 prefix offsets into accessPool(). */
+    const std::vector<u32> &offsets() const { return accOff; }
+    const std::vector<BranchRecord> &branches() const
+    {
+        return branchRecs;
+    }
+    /** 1 where block i ends in a branch, else 0. */
+    const std::vector<u8> &branchValid() const { return branchFlag; }
+    /// @}
+
+  private:
+    std::vector<BlockRecord> blockRecs;
+    std::vector<MemAccess> accPool;
+    std::vector<u32> accOff{0};
+    u32 accUsed = 0;
+    std::vector<BranchRecord> branchRecs;
+    std::vector<u8> branchFlag;
+    ICount totalInstrs = 0;
 };
 
 } // namespace splab

@@ -60,4 +60,19 @@ Engine::onBlock(const BlockRecord &rec, const MemAccess *accs,
         t->onBlock(rec, accs, nAccs, br);
 }
 
+void
+Engine::onBatch(const EventBatch &batch)
+{
+    static obs::Counter &batches =
+        obs::counter("pin.batches", "event batches dispatched");
+    static obs::Counter &batchBlocks =
+        obs::counter("pin.batch_blocks",
+                     "dynamic blocks delivered via batches");
+    batches.add();
+    batchBlocks.add(batch.numBlocks());
+    icount += batch.instrs();
+    for (PinTool *t : tools)
+        t->onBatch(batch);
+}
+
 } // namespace splab

@@ -54,6 +54,10 @@ class Engine : public EventSink
     void onBlock(const BlockRecord &rec, const MemAccess *accs,
                  std::size_t nAccs, const BranchRecord *br) override;
 
+    /** Batched fan-out: one virtual call per (chunk, tool) instead
+     *  of one per (block, tool). */
+    void onBatch(const EventBatch &batch) override;
+
   private:
     std::vector<PinTool *> tools;
     ICount icount = 0;

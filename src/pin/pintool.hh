@@ -50,6 +50,22 @@ class PinTool
     virtual void onBlock(const BlockRecord &rec, const MemAccess *accs,
                          std::size_t nAccs, const BranchRecord *br) = 0;
 
+    /**
+     * One batch (chunk) of dynamic blocks in SoA layout.  The engine
+     * dispatches per batch; the default unpacks to onBlock() in
+     * stream order, so block-granular tools need no changes.  Hot
+     * tools override this to process the arrays directly (identical
+     * event content — batching is a delivery reordering only).
+     */
+    virtual void
+    onBatch(const EventBatch &batch)
+    {
+        const std::size_t n = batch.numBlocks();
+        for (std::size_t i = 0; i < n; ++i)
+            onBlock(batch.block(i), batch.accs(i), batch.accCount(i),
+                    batch.branch(i));
+    }
+
     /** Called once after the last block of a run window. */
     virtual void onRunEnd() {}
 };

@@ -21,4 +21,25 @@ AllCacheTool::onBlock(const BlockRecord &rec, const MemAccess *accs,
         caches->accessData(accs[i].addr, accs[i].isWrite);
 }
 
+void
+AllCacheTool::onBatch(const EventBatch &batch)
+{
+    // Same event order as the per-block path (fetch, then that
+    // block's accesses), but the L1D probe runs over the contiguous
+    // SoA access pool with the hierarchy walk hoisted out to the
+    // miss case only.
+    SetAssocCache &l1d = caches->levelRef(CacheLevel::L1D);
+    const BlockRecord *blocks = batch.blocks().data();
+    const MemAccess *pool = batch.accessPool().data();
+    const u32 *off = batch.offsets().data();
+    const std::size_t n = batch.numBlocks();
+    for (std::size_t b = 0; b < n; ++b) {
+        caches->accessInstr(blocks[b].pc);
+        for (u32 i = off[b]; i < off[b + 1]; ++i) {
+            if (!l1d.access(pool[i].addr, pool[i].isWrite))
+                caches->descendData(pool[i].addr, pool[i].isWrite);
+        }
+    }
+}
+
 } // namespace splab

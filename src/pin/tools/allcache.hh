@@ -27,6 +27,10 @@ class AllCacheTool : public PinTool
     void onBlock(const BlockRecord &rec, const MemAccess *accs,
                  std::size_t nAccs, const BranchRecord *) override;
 
+    /** Batch path: tight L1D probe loop over the flattened access
+     *  pool, descending the hierarchy only on an L1D miss. */
+    void onBatch(const EventBatch &batch) override;
+
     CacheHierarchy &hierarchy() { return *caches; }
     const CacheHierarchy &hierarchy() const { return *caches; }
 

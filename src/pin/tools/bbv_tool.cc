@@ -38,6 +38,24 @@ BbvTool::onBlock(const BlockRecord &rec, const MemAccess *,
 }
 
 void
+BbvTool::onBatch(const EventBatch &batch)
+{
+    const BlockRecord *blocks = batch.blocks().data();
+    const std::size_t n = batch.numBlocks();
+    for (std::size_t i = 0; i < n; ++i) {
+        const BlockRecord &rec = blocks[i];
+        acc->add(rec.bb, static_cast<double>(rec.instrs));
+        inSlice += rec.instrs;
+        if (inSlice >= sliceInstrs) {
+            SPLAB_ASSERT(inSlice == sliceInstrs,
+                         "slice boundary crossed mid-block");
+            slices.push_back(acc->harvest());
+            inSlice = 0;
+        }
+    }
+}
+
+void
 BbvTool::onRunEnd()
 {
     // Keep a final partial slice only if it is at least half full;

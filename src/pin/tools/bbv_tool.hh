@@ -32,6 +32,8 @@ class BbvTool : public PinTool
     void onRunStart(const SyntheticWorkload &workload) override;
     void onBlock(const BlockRecord &rec, const MemAccess *,
                  std::size_t, const BranchRecord *) override;
+    /** Batch path: same accumulation, devirtualized block loop. */
+    void onBatch(const EventBatch &batch) override;
     void onRunEnd() override;
 
     /** Per-slice BBVs collected so far (final partial slice kept if

@@ -27,6 +27,18 @@ class LdStMixTool : public PinTool
         fpInstrs += rec.fpInstrs;
     }
 
+    /** Batch path: sum mixes straight off the SoA block array. */
+    void
+    onBatch(const EventBatch &batch) override
+    {
+        const BlockRecord *blocks = batch.blocks().data();
+        const std::size_t n = batch.numBlocks();
+        for (std::size_t i = 0; i < n; ++i) {
+            total += blocks[i].mix;
+            fpInstrs += blocks[i].fpInstrs;
+        }
+    }
+
     const InstrMix &mix() const { return total; }
     ICount fpInstructions() const { return fpInstrs; }
 

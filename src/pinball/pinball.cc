@@ -36,9 +36,8 @@ Pinball::coveredInstrs() const
 }
 
 void
-Pinball::save(const std::string &path) const
+Pinball::serialize(ByteWriter &w) const
 {
-    ByteWriter w;
     w.put<u64>(kMagic);
     w.put<u32>(kVersion);
     w.put<u8>(static_cast<u8>(pinballKind));
@@ -52,26 +51,16 @@ Pinball::save(const std::string &path) const
         w.put<u32>(r.cluster);
         w.put<u64>(r.slice);
     }
-    if (!w.saveFile(path))
-        SPLAB_FATAL("cannot write pinball: ", path);
-    obs::counter("pinball.bytes_saved",
-                 "pinball bytes written to disk")
-        .add(w.bytes().size());
 }
 
 Pinball
-Pinball::load(const std::string &path)
+Pinball::deserialize(ByteReader &r)
 {
-    ByteReader r = ByteReader::loadFile(path);
-    obs::counter("pinball.bytes_loaded",
-                 "pinball bytes read from disk")
-        .add(r.remaining());
     if (r.get<u64>() != kMagic)
-        SPLAB_FATAL("not a pinball file: ", path);
+        SPLAB_FATAL("not a pinball byte stream");
     u32 version = r.get<u32>();
     if (version != kVersion)
-        SPLAB_FATAL("unsupported pinball version ", version, ": ",
-                    path);
+        SPLAB_FATAL("unsupported pinball version ", version);
     Pinball p;
     p.pinballKind = static_cast<PinballKind>(r.get<u8>());
     p.checksum = r.get<u64>();
@@ -86,6 +75,28 @@ Pinball::load(const std::string &path)
         reg.slice = r.get<u64>();
     }
     return p;
+}
+
+void
+Pinball::save(const std::string &path) const
+{
+    ByteWriter w;
+    serialize(w);
+    if (!w.saveFile(path))
+        SPLAB_FATAL("cannot write pinball: ", path);
+    obs::counter("pinball.bytes_saved",
+                 "pinball bytes written to disk")
+        .add(w.bytes().size());
+}
+
+Pinball
+Pinball::load(const std::string &path)
+{
+    ByteReader r = ByteReader::loadFile(path);
+    obs::counter("pinball.bytes_loaded",
+                 "pinball bytes read from disk")
+        .add(r.remaining());
+    return deserialize(r);
 }
 
 } // namespace splab

@@ -22,6 +22,9 @@
 namespace splab
 {
 
+class ByteReader;
+class ByteWriter;
+
 /** Whole-execution vs regional checkpoint. */
 enum class PinballKind : u8
 {
@@ -63,6 +66,13 @@ class Pinball
 
     /** Load a pinball; fatal() on corruption or bad magic. */
     static Pinball load(const std::string &path);
+
+    /** Append the on-disk representation (magic, version, payload)
+     *  to @p w; save() is this plus the file write. */
+    void serialize(ByteWriter &w) const;
+
+    /** Inverse of serialize(); fatal() on bad magic or version. */
+    static Pinball deserialize(ByteReader &r);
 
   private:
     PinballKind pinballKind = PinballKind::Whole;

@@ -106,4 +106,16 @@ IntervalCoreTool::onBlock(const BlockRecord &rec, const MemAccess *accs,
     }
 }
 
+void
+IntervalCoreTool::onBatch(const EventBatch &batch)
+{
+    // The interval model carries sequential state (MLP window,
+    // predictor) across blocks, so the batch path is the same
+    // per-block computation with the virtual dispatch hoisted out.
+    const std::size_t n = batch.numBlocks();
+    for (std::size_t i = 0; i < n; ++i)
+        IntervalCoreTool::onBlock(batch.block(i), batch.accs(i),
+                                  batch.accCount(i), batch.branch(i));
+}
+
 } // namespace splab

@@ -64,6 +64,10 @@ class IntervalCoreTool : public PinTool
     void onBlock(const BlockRecord &rec, const MemAccess *accs,
                  std::size_t nAccs, const BranchRecord *br) override;
 
+    /** Batch path: devirtualized per-block loop over the SoA views
+     *  (the interval model is inherently sequential per block). */
+    void onBatch(const EventBatch &batch) override;
+
     /** Microarchitectural warm-up: state trains, stats frozen. */
     void setWarmup(bool on);
 

@@ -75,9 +75,9 @@ SyntheticWorkload::run(u64 firstChunk, u64 numChunks, EventSink &sink,
         seg = lo;
     }
 
-    MemAccess accBuf[PhaseModel::kMaxAccessesPerBlock];
     BlockRecord rec;
     BranchRecord br;
+    EventBatch &batch = batchArena;
 
     for (u64 chunk = firstChunk; chunk < firstChunk + numChunks;
          ++chunk) {
@@ -87,9 +87,15 @@ SyntheticWorkload::run(u64 firstChunk, u64 numChunks, EventSink &sink,
         PhaseModel &phase = *phaseModels[segs[seg].phase];
         phase.beginChunk(chunk);
 
+        // Fill one batch per chunk, then deliver it with a single
+        // sink call; the accesses of each block are emitted straight
+        // into the batch's flattened pool.
+        batch.clear();
         ICount budget = benchSpec.chunkLen;
         while (budget > 0) {
             const StaticBlock &blk = phase.pickBlock();
+            MemAccess *accBuf =
+                batch.reserveAccs(PhaseModel::kMaxAccessesPerBlock);
             std::size_t nAccs = 0;
             bool hasBranch = false;
             phase.emit(blk, static_cast<u32>(budget), genAddresses,
@@ -97,9 +103,9 @@ SyntheticWorkload::run(u64 firstChunk, u64 numChunks, EventSink &sink,
             SPLAB_ASSERT(rec.instrs > 0 && rec.instrs <= budget,
                          "chunk budget violation");
             budget -= rec.instrs;
-            sink.onBlock(rec, genAddresses ? accBuf : nullptr, nAccs,
-                         hasBranch ? &br : nullptr);
+            batch.push(rec, nAccs, br, hasBranch);
         }
+        sink.onBatch(batch);
     }
 }
 

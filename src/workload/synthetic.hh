@@ -18,9 +18,12 @@ namespace splab
 /**
  * Receiver of dynamic execution events.
  *
- * One callback per dynamic basic block keeps the virtual-dispatch
- * cost negligible; memory accesses arrive as a span alongside the
- * block that performed them.
+ * The workload delivers one EventBatch per chunk (structure-of-arrays,
+ * see isa/events.hh); the default onBatch() unpacks it into the
+ * per-block onBlock() callback in stream order, so block-granular
+ * sinks observe exactly the pre-batching event sequence.  Sinks on
+ * the hot path override onBatch() instead and skip the per-block
+ * virtual dispatch entirely.
  */
 class EventSink
 {
@@ -37,6 +40,19 @@ class EventSink
     virtual void onBlock(const BlockRecord &rec, const MemAccess *accs,
                          std::size_t nAccs,
                          const BranchRecord *br) = 0;
+
+    /**
+     * One chunk's worth of events.  Default: unpack to onBlock() in
+     * order.  Overriders observe the identical event content.
+     */
+    virtual void
+    onBatch(const EventBatch &batch)
+    {
+        const std::size_t n = batch.numBlocks();
+        for (std::size_t i = 0; i < n; ++i)
+            onBlock(batch.block(i), batch.accs(i), batch.accCount(i),
+                    batch.branch(i));
+    }
 };
 
 /**
@@ -92,6 +108,10 @@ class SyntheticWorkload
     std::vector<std::unique_ptr<PhaseModel>> phaseModels;
     std::unique_ptr<PhaseSchedule> phaseSchedule;
     std::vector<StaticBlock> allBlocks;
+    /** Reusable batch arena: one chunk is built here, delivered,
+     *  cleared.  Lives on the workload so per-region replays reuse
+     *  the high-water capacity across run() calls. */
+    EventBatch batchArena;
 };
 
 } // namespace splab

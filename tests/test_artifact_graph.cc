@@ -258,8 +258,10 @@ TEST(ArtifactGraphScheduling, RunSuiteThreadCountInvariant)
     // snapshots must match across thread counts too.
     EXPECT_EQ(counters[0], counters[1]);
     EXPECT_EQ(counters[0], counters[2]);
+    // spec, bbv, sp, fused, whole-cache projection, regional
+    // pinball, cold replays
     EXPECT_EQ(counters[0].at("graph.nodes_computed"),
-              kBenches.size() * 5); // spec, bbv, sp, whole, cold
+              kBenches.size() * 7);
     EXPECT_EQ(counters[0].at("graph.tasks_scheduled"),
               kBenches.size() * targets.size());
 }

@@ -163,6 +163,72 @@ TEST(Determinism, RegionalReplayThreadCountInvariant)
     EXPECT_EQ(timingBlobs[0], timingBlobs[2]);
 }
 
+/** Whole-run cache metrics as comparable bytes, excluding wall
+ *  time. */
+std::vector<u8>
+wholeCacheBytes(const CacheRunMetrics &m)
+{
+    ByteWriter w;
+    w.put<u64>(m.instrs);
+    for (double f : m.mixFrac)
+        w.put<double>(f);
+    for (const LevelCounts *lc : {&m.l1i, &m.l1d, &m.l2, &m.l3}) {
+        w.put<u64>(lc->accesses);
+        w.put<u64>(lc->misses);
+    }
+    w.put<u64>(m.branches);
+    return w.bytes();
+}
+
+/** Whole-run timing metrics as comparable bytes, excluding wall
+ *  time. */
+std::vector<u8>
+wholeTimingBytes(const TimingRunMetrics &m)
+{
+    ByteWriter w;
+    w.put<u64>(m.instrs);
+    w.put<double>(m.cycles);
+    w.put<u64>(m.branches);
+    w.put<u64>(m.mispredicts);
+    w.put<u64>(m.l2Hits);
+    w.put<u64>(m.l3Hits);
+    w.put<u64>(m.memAccesses);
+    return w.bytes();
+}
+
+TEST(Determinism, FusedWholeRunThreadCountInvariant)
+{
+    // The fused single-pass measurement must be byte-identical to
+    // the separate passes it replaces, at every thread-pool size —
+    // fusion and batching are observer changes, never stream
+    // changes.
+    BenchmarkSpec spec = benchmarkByName("505.mcf_r");
+    spec.totalChunks = 1500;
+    HierarchyConfig caches = tableIConfig();
+    MachineConfig machine = tableIIIMachine();
+
+    std::vector<u8> separateCache =
+        wholeCacheBytes(measureWholeCache(spec, caches));
+    std::vector<u8> separateTiming =
+        wholeTimingBytes(measureWholeTiming(spec, machine));
+
+    std::vector<std::vector<u8>> cacheBlobs, timingBlobs;
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        ThreadPool::setGlobalThreads(threads);
+        FusedWholeResult fused =
+            measureWholeFused(spec, caches, machine);
+        cacheBlobs.push_back(wholeCacheBytes(fused.cache));
+        timingBlobs.push_back(wholeTimingBytes(fused.timing));
+    }
+    ThreadPool::setGlobalThreads(0);
+
+    for (std::size_t i = 0; i < cacheBlobs.size(); ++i) {
+        EXPECT_EQ(cacheBlobs[i], separateCache) << "threads run " << i;
+        EXPECT_EQ(timingBlobs[i], separateTiming)
+            << "threads run " << i;
+    }
+}
+
 TEST(Determinism, ArtifactManifestSectionThreadCountInvariant)
 {
     // Artifact keys are pure functions of (spec, config, salts), so

@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Batched event delivery and the fused whole-run measurement:
+ * batching must be a pure delivery reordering (identical tool
+ * statistics to per-block dispatch), the MRU cache fast path must be
+ * semantically invisible, and the fused single-pass measurement must
+ * be byte-identical to the separate passes it replaces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/artifact_graph.hh"
+#include "core/runs.hh"
+#include "obs/counters.hh"
+#include "pin/engine.hh"
+#include "pin/tools/allcache.hh"
+#include "pin/tools/bbv_tool.hh"
+#include "pin/tools/branch_profile.hh"
+#include "pin/tools/ldstmix.hh"
+#include "support/serialize.hh"
+#include "timing/interval_core.hh"
+#include "workload/suite.hh"
+
+namespace splab
+{
+namespace
+{
+
+BenchmarkSpec
+smallSpec(u64 chunks = 300)
+{
+    BenchmarkSpec spec;
+    spec.name = "batch-test";
+    spec.seed = 99;
+    spec.totalChunks = chunks;
+    spec.chunkLen = 1000;
+    PhaseSpec a;
+    a.weight = 0.6;
+    a.kernel = KernelKind::Stream;
+    a.workingSetBytes = 4 << 20;
+    PhaseSpec b;
+    b.weight = 0.4;
+    b.kernel = KernelKind::PointerChase;
+    b.workingSetBytes = 1 << 20;
+    spec.phases = {a, b};
+    spec.schedule = ScheduleKind::Interleaved;
+    spec.dwellChunks = 30;
+    return spec;
+}
+
+/**
+ * Forces per-block delivery: overrides only onBlock, so the default
+ * EventSink::onBatch unpacks each chunk and the wrapped engine fans
+ * out one virtual call per (block, tool) — the pre-batching path.
+ */
+class PerBlockFanout : public EventSink
+{
+  public:
+    explicit PerBlockFanout(Engine &e) : engine(e) {}
+
+    void
+    onBlock(const BlockRecord &rec, const MemAccess *accs,
+            std::size_t nAccs, const BranchRecord *br) override
+    {
+        engine.onBlock(rec, accs, nAccs, br);
+    }
+
+  private:
+    Engine &engine;
+};
+
+void
+expectSameCacheStats(const CacheHierarchy &a, const CacheHierarchy &b)
+{
+    for (CacheLevel l : {CacheLevel::L1I, CacheLevel::L1D,
+                         CacheLevel::L2, CacheLevel::L3}) {
+        const CacheStats &x = a.levelStats(l);
+        const CacheStats &y = b.levelStats(l);
+        EXPECT_EQ(x.accesses, y.accesses) << cacheLevelName(l);
+        EXPECT_EQ(x.misses, y.misses) << cacheLevelName(l);
+        EXPECT_EQ(x.readAccesses, y.readAccesses) << cacheLevelName(l);
+        EXPECT_EQ(x.readMisses, y.readMisses) << cacheLevelName(l);
+        EXPECT_EQ(x.writeAccesses, y.writeAccesses)
+            << cacheLevelName(l);
+        EXPECT_EQ(x.writeMisses, y.writeMisses) << cacheLevelName(l);
+    }
+}
+
+TEST(EventBatching, BatchedMatchesPerBlock)
+{
+    // Every bundled tool, batched dispatch vs forced per-block
+    // dispatch: all statistics exactly equal.
+    BenchmarkSpec spec = smallSpec(200);
+    const ICount slice = spec.chunkLen * 10;
+
+    AllCacheTool cacheA(tableIConfig());
+    LdStMixTool mixA;
+    BranchProfileTool brA;
+    IntervalCoreTool coreA(tableIIIMachine());
+    BbvTool bbvA(slice);
+    Engine batched;
+    for (PinTool *t : std::initializer_list<PinTool *>{
+             &cacheA, &mixA, &brA, &coreA, &bbvA})
+        batched.attach(t);
+    SyntheticWorkload wlA(spec);
+    batched.runWhole(wlA);
+
+    AllCacheTool cacheB(tableIConfig());
+    LdStMixTool mixB;
+    BranchProfileTool brB;
+    IntervalCoreTool coreB(tableIIIMachine());
+    BbvTool bbvB(slice);
+    Engine perBlock;
+    for (PinTool *t : std::initializer_list<PinTool *>{
+             &cacheB, &mixB, &brB, &coreB, &bbvB})
+        perBlock.attach(t);
+    SyntheticWorkload wlB(spec);
+    PerBlockFanout fanout(perBlock);
+    for (PinTool *t : std::initializer_list<PinTool *>{
+             &cacheB, &mixB, &brB, &coreB, &bbvB})
+        t->onRunStart(wlB);
+    wlB.run(0, spec.totalChunks, fanout, true);
+    for (PinTool *t : std::initializer_list<PinTool *>{
+             &cacheB, &mixB, &brB, &coreB, &bbvB})
+        t->onRunEnd();
+
+    expectSameCacheStats(cacheA.hierarchy(), cacheB.hierarchy());
+
+    for (std::size_t c = 0; c < kNumMemClasses; ++c)
+        EXPECT_EQ(mixA.mix().count[c], mixB.mix().count[c]);
+    EXPECT_EQ(mixA.fpInstructions(), mixB.fpInstructions());
+
+    EXPECT_EQ(brA.branchCount(), brB.branchCount());
+    EXPECT_EQ(brA.takenCount(), brB.takenCount());
+    EXPECT_EQ(brA.dataDependentCount(), brB.dataDependentCount());
+
+    const TimingStats &ta = coreA.stats();
+    const TimingStats &tb = coreB.stats();
+    EXPECT_EQ(ta.instrs, tb.instrs);
+    EXPECT_EQ(ta.cycles, tb.cycles);
+    EXPECT_EQ(ta.branches, tb.branches);
+    EXPECT_EQ(ta.mispredicts, tb.mispredicts);
+    EXPECT_EQ(ta.l2Hits, tb.l2Hits);
+    EXPECT_EQ(ta.l3Hits, tb.l3Hits);
+    EXPECT_EQ(ta.memAccesses, tb.memAccesses);
+
+    ASSERT_EQ(bbvA.vectors().size(), bbvB.vectors().size());
+    for (std::size_t s = 0; s < bbvA.vectors().size(); ++s) {
+        const auto &ea = bbvA.vectors()[s].entries;
+        const auto &eb = bbvB.vectors()[s].entries;
+        ASSERT_EQ(ea.size(), eb.size()) << "slice " << s;
+        for (std::size_t i = 0; i < ea.size(); ++i) {
+            EXPECT_EQ(ea[i].block, eb[i].block);
+            EXPECT_FLOAT_EQ(ea[i].weight, eb[i].weight);
+        }
+    }
+}
+
+/** Sink that checks the structural invariants of every batch. */
+class InvariantSink : public EventSink
+{
+  public:
+    void
+    onBlock(const BlockRecord &, const MemAccess *, std::size_t,
+            const BranchRecord *) override
+    {
+    }
+
+    void
+    onBatch(const EventBatch &batch) override
+    {
+        ++batches;
+        const std::size_t n = batch.numBlocks();
+        ASSERT_GT(n, 0u);
+        ASSERT_EQ(batch.offsets().size(), n + 1);
+        ASSERT_EQ(batch.branches().size(), n);
+        ASSERT_EQ(batch.branchValid().size(), n);
+        ASSERT_EQ(batch.blocks().size(), n);
+        EXPECT_EQ(batch.offsets().front(), 0u);
+        // The pool may retain high-water capacity; the offsets only
+        // ever address the used prefix.
+        EXPECT_LE(batch.offsets().back(), batch.accessPool().size());
+
+        ICount instrSum = 0;
+        std::size_t accSum = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_LE(batch.offsets()[i], batch.offsets()[i + 1]);
+            instrSum += batch.block(i).instrs;
+            accSum += batch.accCount(i);
+            // Element accessors agree with the raw arrays.
+            EXPECT_EQ(&batch.block(i), &batch.blocks()[i]);
+            if (batch.accCount(i) == 0) {
+                EXPECT_EQ(batch.accs(i), nullptr);
+            } else {
+                EXPECT_EQ(batch.accs(i), batch.accessPool().data() +
+                                             batch.offsets()[i]);
+            }
+            if (batch.branch(i)) {
+                EXPECT_EQ(batch.branch(i), &batch.branches()[i]);
+                EXPECT_TRUE(batch.block(i).endsInBranch);
+            }
+        }
+        EXPECT_EQ(batch.instrs(), instrSum);
+        EXPECT_EQ(batch.offsets().back(), accSum);
+        totalInstrs += instrSum;
+    }
+
+    std::size_t batches = 0;
+    ICount totalInstrs = 0;
+};
+
+TEST(EventBatching, BatchLayoutInvariants)
+{
+    BenchmarkSpec spec = smallSpec(64);
+    SyntheticWorkload wl(spec);
+    InvariantSink sink;
+    wl.run(0, spec.totalChunks, sink, true);
+    // One batch per chunk, covering the full instruction budget.
+    EXPECT_EQ(sink.batches, spec.totalChunks);
+    EXPECT_EQ(sink.totalInstrs, spec.totalChunks * spec.chunkLen);
+}
+
+TEST(EventBatching, EngineCountsBatches)
+{
+    obs::resetCounters();
+    SyntheticWorkload wl(smallSpec(50));
+    LdStMixTool mix;
+    Engine engine;
+    engine.attach(&mix);
+    engine.runWhole(wl);
+    auto counters = obs::counterSnapshot();
+    EXPECT_EQ(counters.at("pin.batches"), 50u);
+    EXPECT_GT(counters.at("pin.batch_blocks"), 50u);
+    EXPECT_EQ(counters.at("pin.instrs"), 50000u);
+}
+
+/**
+ * Reference cache: the pre-fast-path implementation (full way scan,
+ * per-access tag-shift recomputation) with identical replacement and
+ * counting semantics.
+ */
+class ReferenceCache
+{
+  public:
+    explicit ReferenceCache(const CacheParams &p)
+        : params(p), sets(p.numSets()), lines(sets * p.ways)
+    {
+    }
+
+    bool
+    access(Addr addr, bool isWrite)
+    {
+        u64 line = addr / params.lineBytes;
+        u64 set = line % sets;
+        u64 tag = line / sets;
+        auto *t = &lines[set * params.ways];
+
+        bool hit = false;
+        u32 pos = 0;
+        for (u32 i = 0; i < params.ways; ++i) {
+            if (t[i].valid && t[i].tag == tag) {
+                hit = true;
+                pos = i;
+                break;
+            }
+        }
+        bool refresh =
+            hit ? params.replacement == ReplacementPolicy::LRU : true;
+        if (refresh) {
+            u32 from = hit ? pos : params.ways - 1;
+            for (u32 i = from; i > 0; --i)
+                t[i] = t[i - 1];
+            t[0] = {tag, true};
+        }
+
+        ++stats.accesses;
+        if (isWrite) {
+            ++stats.writeAccesses;
+            if (!hit)
+                ++stats.writeMisses;
+        } else {
+            ++stats.readAccesses;
+            if (!hit)
+                ++stats.readMisses;
+        }
+        if (!hit)
+            ++stats.misses;
+        return hit;
+    }
+
+    CacheStats stats;
+
+  private:
+    struct Line
+    {
+        u64 tag = 0;
+        bool valid = false;
+    };
+    CacheParams params;
+    u64 sets;
+    std::vector<Line> lines;
+};
+
+TEST(CacheFastPath, MruProbeMatchesReference)
+{
+    // The inline MRU/tag-shift fast path against the slow reference
+    // model: identical hit sequences and counters for both policies
+    // and degenerate geometries (including direct-mapped, where the
+    // fast path IS the whole probe).
+    for (ReplacementPolicy pol :
+         {ReplacementPolicy::LRU, ReplacementPolicy::FIFO}) {
+        for (u32 ways : {1u, 2u, 8u}) {
+            CacheParams p;
+            p.name = "fastpath-test";
+            p.sizeBytes = 16 * 1024;
+            p.ways = ways;
+            p.lineBytes = 64;
+            p.replacement = pol;
+
+            SetAssocCache fast(p);
+            ReferenceCache ref(p);
+
+            u64 state = 0x12345678 + ways;
+            for (int i = 0; i < 200000; ++i) {
+                // xorshift64; mask to a small range so sets collide
+                // and hits dominate (exercising both probe paths).
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                Addr addr = (state % (64 * 1024)) & ~7ULL;
+                bool isWrite = (state >> 20) & 1;
+                EXPECT_EQ(fast.access(addr, isWrite),
+                          ref.access(addr, isWrite))
+                    << "access " << i << " ways " << ways;
+            }
+            const CacheStats &s = fast.statsRef();
+            EXPECT_EQ(s.accesses, ref.stats.accesses);
+            EXPECT_EQ(s.misses, ref.stats.misses);
+            EXPECT_EQ(s.readAccesses, ref.stats.readAccesses);
+            EXPECT_EQ(s.readMisses, ref.stats.readMisses);
+            EXPECT_EQ(s.writeAccesses, ref.stats.writeAccesses);
+            EXPECT_EQ(s.writeMisses, ref.stats.writeMisses);
+            EXPECT_GT(s.accesses, s.misses); // hits occurred
+        }
+    }
+}
+
+std::vector<u8>
+cacheBytesNoWall(const CacheRunMetrics &m)
+{
+    ByteWriter w;
+    w.put<u64>(m.instrs);
+    for (double f : m.mixFrac)
+        w.put<double>(f);
+    for (const LevelCounts *lc : {&m.l1i, &m.l1d, &m.l2, &m.l3}) {
+        w.put<u64>(lc->accesses);
+        w.put<u64>(lc->misses);
+    }
+    w.put<u64>(m.branches);
+    return w.bytes();
+}
+
+std::vector<u8>
+timingBytesNoWall(const TimingRunMetrics &m)
+{
+    ByteWriter w;
+    w.put<u64>(m.instrs);
+    w.put<double>(m.cycles);
+    w.put<u64>(m.branches);
+    w.put<u64>(m.mispredicts);
+    w.put<u64>(m.l2Hits);
+    w.put<u64>(m.l3Hits);
+    w.put<u64>(m.memAccesses);
+    return w.bytes();
+}
+
+TEST(FusedWholeRun, MatchesSeparatePasses)
+{
+    BenchmarkSpec spec = smallSpec(250);
+    HierarchyConfig caches = tableIConfig();
+    MachineConfig machine = tableIIIMachine();
+    const ICount slice = spec.chunkLen * 10;
+
+    FusedWholeResult fused =
+        measureWholeFused(spec, caches, machine, slice);
+    CacheRunMetrics cacheOnly = measureWholeCache(spec, caches);
+    TimingRunMetrics timingOnly = measureWholeTiming(spec, machine);
+
+    EXPECT_EQ(cacheBytesNoWall(fused.cache),
+              cacheBytesNoWall(cacheOnly));
+    EXPECT_EQ(timingBytesNoWall(fused.timing),
+              timingBytesNoWall(timingOnly));
+
+    // The piggy-backed BBV pass matches a dedicated BBV tool run.
+    SyntheticWorkload wl(spec);
+    BbvTool bbv(slice);
+    Engine engine;
+    engine.attach(&bbv);
+    engine.runWhole(wl);
+    ASSERT_EQ(fused.bbvs.size(), bbv.vectors().size());
+    for (std::size_t s = 0; s < fused.bbvs.size(); ++s) {
+        const auto &ea = fused.bbvs[s].entries;
+        const auto &eb = bbv.vectors()[s].entries;
+        ASSERT_EQ(ea.size(), eb.size());
+        for (std::size_t i = 0; i < ea.size(); ++i) {
+            EXPECT_EQ(ea[i].block, eb[i].block);
+            EXPECT_FLOAT_EQ(ea[i].weight, eb[i].weight);
+        }
+    }
+}
+
+TEST(FusedWholeRun, GraphProjectionsShareOneTraversal)
+{
+    const std::string bench = "505.mcf_r";
+    obs::resetCounters();
+    ArtifactGraph g(ExperimentConfig::paperDefaults(),
+                    std::make_shared<const ArtifactCache>(
+                        ArtifactCache("")));
+    const CacheRunMetrics &wc = g.wholeCache(bench);
+    const TimingRunMetrics &wt = g.wholeTiming(bench);
+    const FusedWholeMetrics &fused = g.wholeFused(bench);
+
+    // Projections are the fused node's fields, not re-measurements.
+    EXPECT_EQ(cacheBytesNoWall(wc), cacheBytesNoWall(fused.cache));
+    EXPECT_EQ(timingBytesNoWall(wt),
+              timingBytesNoWall(fused.timing));
+    auto counters = obs::counterSnapshot();
+    // spec + fused + two projections; one engine window total.
+    EXPECT_EQ(counters.at("graph.nodes_computed"), 4u);
+    EXPECT_EQ(counters.at("pin.windows"), 1u);
+}
+
+TEST(RegionalPinball, SharedCaptureAcrossReplayKinds)
+{
+    // The whole-pinball capture happens once per benchmark even when
+    // cold cache, warm cache and timing replays are all requested —
+    // the RegionalPinball artifact is their shared upstream.
+    const std::vector<std::string> benches = {"505.mcf_r"};
+    ExperimentConfig cfg = ExperimentConfig::paperDefaults();
+    cfg.simpoint.maxK = 4;
+    obs::resetCounters();
+    ArtifactGraph g(cfg, std::make_shared<const ArtifactCache>(
+                             ArtifactCache("")));
+    g.runSuite(benches, {ArtifactKind::PointsCacheCold,
+                         ArtifactKind::PointsCacheWarm,
+                         ArtifactKind::PointsTiming});
+    auto counters = obs::counterSnapshot();
+    EXPECT_EQ(counters.at("pinball.whole_captured"), 1u);
+}
+
+} // namespace
+} // namespace splab
