@@ -80,5 +80,16 @@ main(int, char **argv)
                 "domains differ in mix, locality and CPI).\n",
                 mixedClusters);
     bench::saveCsv(csv, argv[0]);
+
+    obs::RunManifest mani(bench::toolName(argv[0]));
+    mani.recordEnv("SPLAB_SCALE");
+    mani.recordEnv("SPLAB_CACHE");
+    mani.recordEnv("SPLAB_FUSED_PERSIST");
+    graph.config().describe(mani);
+    graph.recordArtifacts(mani, suiteNames(),
+                          {ArtifactKind::WholeCache,
+                           ArtifactKind::WholeTiming});
+    mani.addOutput(bench::csvPath(argv[0]));
+    bench::emitObservability(argv[0], mani);
     return 0;
 }

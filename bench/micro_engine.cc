@@ -2,9 +2,10 @@
  * @file
  * Engine microbench: the fused single-pass whole-run measurement
  * (measureWholeFused: allcache + ldstmix + branchprofile + timing +
- * BBV in one traversal) against the legacy three-pass pipeline, and
+ * BBV in one traversal) against the legacy three-pass pipeline,
  * batched event delivery (one onBatch per chunk) against per-block
- * fan-out.
+ * fan-out, and the chunk-aggregate counting kernels against their
+ * per-block equivalents.
  *
  * The legacy baseline is a faithful replica of the pre-optimization
  * stack carried inside this bench: per-access tag-shift
@@ -28,6 +29,7 @@
 #include "pin/tools/allcache.hh"
 #include "pin/tools/bbv_tool.hh"
 #include "pin/tools/branch_profile.hh"
+#include "pin/tools/inscount.hh"
 #include "pin/tools/ldstmix.hh"
 #include "support/serialize.hh"
 #include "timing/interval_core.hh"
@@ -407,6 +409,27 @@ bbvsEqual(const std::vector<FrequencyVector> &a,
     return true;
 }
 
+/** Deterministic bytes of the counting-tool set used by the kernels
+ *  section (no cache or timing state involved). */
+std::vector<u8>
+lightToolBytes(const LdStMixTool &mix, const InsCountTool &ins,
+               const BranchProfileTool &branches, const BbvTool &bbv)
+{
+    ByteWriter w;
+    for (double f : mix.mix().fractions())
+        w.put<double>(f);
+    w.put<u64>(mix.fpInstructions());
+    w.put<u64>(ins.instructions());
+    w.put<u64>(ins.blockCount());
+    w.put<u64>(ins.branchCount());
+    w.put<u64>(branches.branchCount());
+    w.put<u64>(branches.takenCount());
+    w.put<u64>(branches.dataDependentCount());
+    for (const FrequencyVector &fv : bbv.vectors())
+        w.putVector(fv.entries);
+    return w.bytes();
+}
+
 /** Deterministic bytes of a current-stack tool set after a run. */
 std::vector<u8>
 toolBytes(const AllCacheTool &cache, const LdStMixTool &mix,
@@ -623,6 +646,78 @@ main(int, char **argv)
                        dispatchSame ? "yes" : "NO"});
     dispatchTable.print();
 
+    // ---- Part 3: chunk-aggregate kernels vs per-block delivery ----
+    // Counting tools only (ldstmix + inscount + branchprofile + bbv),
+    // no address generation: with the per-chunk aggregates these
+    // consume O(1) (or O(touched blocks)) per chunk on the batch
+    // path, so this section isolates the aggregate-kernel win from
+    // cache-model time.
+    const std::vector<std::string> kernelBenches(
+        benches.begin(),
+        benches.begin() + std::min<std::size_t>(3, benches.size()));
+    double kernelBlockSec = 0.0, kernelBatchSec = 0.0;
+    bool kernelsSame = true;
+    for (const std::string &name : kernelBenches) {
+        BenchmarkSpec spec = benchmarkByName(name);
+        const ICount slice = cfg.simpoint.sliceInstrs;
+
+        SyntheticWorkload blockWl(spec);
+        LdStMixTool blockMix;
+        InsCountTool blockIns;
+        BranchProfileTool blockBranches;
+        BbvTool blockBbv(slice);
+        double bs = wallSeconds([&] {
+            runPerBlock(blockWl,
+                        {&blockMix, &blockIns, &blockBranches,
+                         &blockBbv},
+                        false);
+        });
+
+        SyntheticWorkload batchWl(spec);
+        LdStMixTool batchMix;
+        InsCountTool batchIns;
+        BranchProfileTool batchBranches;
+        BbvTool batchBbv(slice);
+        Engine batchEngine;
+        batchEngine.attach(&batchMix);
+        batchEngine.attach(&batchIns);
+        batchEngine.attach(&batchBranches);
+        batchEngine.attach(&batchBbv);
+        double ts =
+            wallSeconds([&] { batchEngine.runWhole(batchWl); });
+
+        bool same = lightToolBytes(blockMix, blockIns, blockBranches,
+                                   blockBbv) ==
+                    lightToolBytes(batchMix, batchIns, batchBranches,
+                                   batchBbv);
+        if (!same)
+            std::printf("[FAIL] kernel aggregates != per-block on "
+                        "%s\n",
+                        name.c_str());
+        kernelsSame = kernelsSame && same;
+        kernelBlockSec += bs;
+        kernelBatchSec += ts;
+        csv.row({"kernels", name, fmt(bs, 4), "", fmt(ts, 4),
+                 fmt(ts > 0.0 ? bs / ts : 0.0, 3),
+                 same ? "1" : "0"});
+    }
+    identical = identical && kernelsSame;
+    double kernelSpeedup =
+        kernelBatchSec > 0.0 ? kernelBlockSec / kernelBatchSec : 0.0;
+
+    TableWriter kernelTable(
+        "Chunk-aggregate kernels, " +
+        std::to_string(kernelBenches.size()) +
+        " benchmarks (counting tools, no addresses)");
+    kernelTable.header(
+        {"delivery", "wall (s)", "speedup", "identical"});
+    kernelTable.row(
+        {"per-block", fmt(kernelBlockSec, 3), fmtX(1.0, 2), "-"});
+    kernelTable.row({"chunk aggregates", fmt(kernelBatchSec, 3),
+                     fmtX(kernelSpeedup, 2),
+                     kernelsSame ? "yes" : "NO"});
+    kernelTable.print();
+
     bench::saveCsv(csv, argv[0]);
 
     const char *jsonPath = "BENCH_engine.json";
@@ -636,11 +731,17 @@ main(int, char **argv)
             "\"fused_speedup\":%.3f,\"fused_vs_current\":%.3f,"
             "\"dispatch_benchmarks\":%zu,"
             "\"per_block_sec\":%.4f,\"batched_sec\":%.4f,"
-            "\"dispatch_speedup\":%.3f,\"identical\":%s}\n",
+            "\"dispatch_speedup\":%.3f,"
+            "\"kernels_benchmarks\":%zu,"
+            "\"kernels_per_block_sec\":%.4f,"
+            "\"kernels_batch_sec\":%.4f,"
+            "\"kernels_speedup\":%.3f,\"identical\":%s}\n",
             benches.size(), totalInstrs / 1e6, legacySec, sepSec,
             fusedSec, fusedSpeedup, fusedVsCurrent,
             dispatchBenches.size(), blockSec, batchSec,
-            dispatchSpeedup, identical ? "true" : "false");
+            dispatchSpeedup, kernelBenches.size(), kernelBlockSec,
+            kernelBatchSec, kernelSpeedup,
+            identical ? "true" : "false");
         std::fclose(f);
         std::printf("wrote %s\n", jsonPath);
     }

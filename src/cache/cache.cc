@@ -84,7 +84,8 @@ SetAssocCache::SetAssocCache(const CacheParams &params)
 }
 
 bool
-SetAssocCache::accessSlow(std::size_t base, u64 tag, bool isWrite)
+SetAssocCache::accessSlow(std::size_t base, u64 set, u64 tag,
+                          bool isWrite)
 {
     u64 *t = &tags[base];
 
@@ -112,6 +113,9 @@ SetAssocCache::accessSlow(std::size_t base, u64 tag, bool isWrite)
         // Both policies fill at the front and evict the last slot:
         // under LRU that is the least recently used line, under FIFO
         // the oldest insertion.
+        u64 victim = t[ways - 1];
+        evicted = victim == kNoLine ? kNoLine
+                                    : (victim << tagShift) | set;
         std::memmove(t + 1, t, (ways - 1) * sizeof(u64));
         t[0] = tag;
     }
@@ -125,6 +129,7 @@ SetAssocCache::flush()
 {
     tags.assign(tags.size(), kNoLine);
     lastLine = kNoLine; // the memoized line is no longer resident
+    evicted = kNoLine;
 }
 
 } // namespace splab

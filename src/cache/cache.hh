@@ -11,6 +11,7 @@
 #ifndef SPLAB_CACHE_CACHE_HH
 #define SPLAB_CACHE_CACHE_HH
 
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -115,8 +116,46 @@ class SetAssocCache
             countAccess(isWrite, true);
             return true;
         }
-        return accessSlow(base, tag, isWrite);
+        return accessSlow(base, set, tag, isWrite);
     }
+
+    /**
+     * Line number of the victim evicted by the most recent miss
+     * (kNoLine when the filled way was empty).  Only meaningful
+     * immediately after an access() or fillOnMiss() that missed;
+     * hits leave it stale.  CacheHierarchy reads it to maintain its
+     * absent-from-L1D memo.
+     */
+    u64 lastEvictedLine() const { return evicted; }
+
+    /**
+     * Allocate @p line as a counted miss *without probing the set* —
+     * the caller guarantees the line is not resident (see
+     * CacheHierarchy's absent-line memo).  State transition, counter
+     * effect and victim choice are exactly those of a missing
+     * access(); the evicted line is reported via lastEvictedLine().
+     */
+    void
+    fillOnMiss(u64 line, bool isWrite)
+    {
+        lastLine = line;
+        u64 set = line & setMask;
+        u64 tag = line >> tagShift;
+        u64 *t = &tags[static_cast<std::size_t>(set) * ways];
+        u64 victim = t[ways - 1];
+        evicted = victim == kNoLine ? kNoLine
+                                    : (victim << tagShift) | set;
+        std::memmove(t + 1, t, (ways - 1) * sizeof(u64));
+        t[0] = tag;
+        countAccess(isWrite, false);
+    }
+
+    /** Bytes-to-line shift, for callers that key on line numbers. */
+    u32 lineBits() const { return lineShift; }
+
+    /** Sentinel no real line number or tag reaches (both are
+     *  addresses shifted right, so their top bits are always zero). */
+    static constexpr u64 kNoLine = ~u64{0};
 
     /** When warming, state updates but counters do not. */
     void setWarmup(bool on) { warming = on; }
@@ -152,7 +191,8 @@ class SetAssocCache
   private:
     /** Probe ways [base+1, base+ways) and apply replacement; the
      *  way-0 hit case is handled inline by access(). */
-    bool accessSlow(std::size_t base, u64 tag, bool isWrite);
+    bool accessSlow(std::size_t base, u64 set, u64 tag,
+                    bool isWrite);
 
     /** One branchless increment into the (write, hit) matrix; the
      *  public CacheStats shape is derived in statsRef(). */
@@ -177,9 +217,8 @@ class SetAssocCache
     /** Line number of the previous access; kNoLine after a flush.
      *  See access() fast path 1. */
     u64 lastLine;
-    /** Sentinel no real line number or tag reaches (both are
-     *  addresses shifted right, so their top bits are always zero). */
-    static constexpr u64 kNoLine = ~u64{0};
+    /** Victim line of the most recent miss; see lastEvictedLine(). */
+    u64 evicted = kNoLine;
 
     /** tags[set * ways + i], most recently used first; empty ways
      *  hold kNoLine, so the probe is one equality scan with no

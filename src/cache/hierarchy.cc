@@ -70,6 +70,8 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
     level[1] = std::make_unique<SetAssocCache>(config.l1d);
     level[2] = std::make_unique<SetAssocCache>(config.l2);
     level[3] = std::make_unique<SetAssocCache>(config.l3);
+    absentL1d.assign(kMemoSlots, SetAssocCache::kNoLine);
+    l1dLineShift = level[1]->lineBits();
 }
 
 HitLevel
@@ -94,6 +96,10 @@ CacheHierarchy::flush()
 {
     for (auto &c : level)
         c->flush();
+    // Every line is now absent, so the memo entries are all still
+    // true — but a flush marks a cold restart, so start the memo
+    // cold as well rather than carry warmth across runs.
+    absentL1d.assign(kMemoSlots, SetAssocCache::kNoLine);
 }
 
 void

@@ -86,12 +86,38 @@ class CacheHierarchy
 
     /** Data reference; walks L1D -> L2 -> L3.  Inline: one call per
      *  dynamic memory access is the hottest edge of the timing
-     *  simulator, and the L1 hit case must not pay a call. */
+     *  simulator, and the L1 hit case must not pay a call.
+     *
+     *  An absent-line memo sits in front of the L1D probe: a small
+     *  direct-mapped table of line numbers *proven absent* from L1D
+     *  (inserted when L1D evicts them, cleared the moment such a
+     *  line is re-allocated).  A memo hit means the access is a
+     *  guaranteed L1D miss, so the way scan is skipped entirely and
+     *  the line is filled probe-free — a large win for repeating
+     *  miss lines in the 32-way Table I L1D.  Collisions simply
+     *  overwrite (lossy): a missing entry only costs a probe, and a
+     *  present entry is always true, so hit/miss counts, replacement
+     *  state and downstream traffic are bit-for-bit unchanged.  The
+     *  memo is maintained only here — all L1D data traffic must flow
+     *  through accessData()/descendData(), never through
+     *  levelRef(CacheLevel::L1D).access(). */
     HitLevel
     accessData(Addr addr, bool isWrite)
     {
+        u64 line = addr >> l1dLineShift;
+        u64 &slot = absentL1d[line & kMemoMask];
+        if (slot == line) {
+            // Proven absent: clear the entry *before* inserting the
+            // eviction's victim (both may map to this very slot),
+            // then fill as a counted, probe-free miss.
+            slot = SetAssocCache::kNoLine;
+            level[1]->fillOnMiss(line, isWrite);
+            memoAbsent(level[1]->lastEvictedLine());
+            return descendData(addr, isWrite);
+        }
         if (level[1]->access(addr, isWrite))
             return HitLevel::L1;
+        memoAbsent(level[1]->lastEvictedLine());
         return descendData(addr, isWrite);
     }
 
@@ -134,7 +160,23 @@ class CacheHierarchy
     const CacheParams &levelParams(CacheLevel l) const;
 
   private:
+    /** Record @p line as absent from L1D (it was just evicted). */
+    void
+    memoAbsent(u64 line)
+    {
+        if (line != SetAssocCache::kNoLine)
+            absentL1d[line & kMemoMask] = line;
+    }
+
     std::array<std::unique_ptr<SetAssocCache>, kNumCacheLevels> level;
+
+    /** Absent-from-L1D memo: direct-mapped, slots hold full line
+     *  numbers (kNoLine = empty).  See accessData(). */
+    static constexpr u64 kMemoSlots = 8192;
+    static constexpr u64 kMemoMask = kMemoSlots - 1;
+    std::vector<u64> absentL1d;
+    /** Cached L1D bytes-to-line shift for the memo lookup. */
+    u32 l1dLineShift;
 };
 
 } // namespace splab

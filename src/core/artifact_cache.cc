@@ -1,9 +1,12 @@
 #include "artifact_cache.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <mutex>
 #include <set>
+
+#include <unistd.h>
 
 #include "obs/counters.hh"
 #include "support/env.hh"
@@ -156,6 +159,55 @@ ArtifactCache::store(const std::string &kind, u64 key,
     obs::counter("artifact_cache.bytes_written",
                  "bytes stored into cache blobs")
         .add(blob.bytes().size());
+}
+
+u64
+ArtifactCache::storeShared(const u8 *data, std::size_t size) const
+{
+    static obs::Counter &shareHits =
+        obs::counter("artifact_cache.blob_share_hits",
+                     "shared sub-blob stores satisfied by an "
+                     "existing identical blob");
+
+    u64 h = hashBytes(data, size);
+    if (!enabled())
+        return h;
+    std::string p = path("shared", h);
+    if (ByteReader::probeFile(p)) {
+        shareHits.add();
+        return h;
+    }
+    // Either absent or corrupt; (re)write through a unique temp file
+    // + rename so a concurrent reader or writer of the same content
+    // never observes a torn blob.  saveFile itself is not atomic.
+    static std::atomic<u64> seq{0};
+    std::string tmp = p + ".tmp." +
+                      std::to_string(static_cast<long>(::getpid())) +
+                      "." + std::to_string(seq.fetch_add(1));
+    ByteWriter w;
+    w.putRaw(data, size);
+    if (!w.saveFile(tmp)) {
+        SPLAB_WARN("cannot write shared cache blob ", tmp);
+        return h;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, p, ec);
+    if (ec) {
+        SPLAB_WARN("cannot publish shared cache blob ", p, ": ",
+                   ec.message());
+        std::filesystem::remove(tmp, ec);
+        return h;
+    }
+    obs::counter("artifact_cache.bytes_written",
+                 "bytes stored into cache blobs")
+        .add(size);
+    return h;
+}
+
+CacheOutcome
+ArtifactCache::loadShared(u64 contentHash) const
+{
+    return load("shared", contentHash);
 }
 
 } // namespace splab

@@ -73,6 +73,25 @@ class ArtifactCache
                const ByteWriter &blob) const;
 
     /**
+     * Store @p size bytes as a content-addressed *shared sub-blob*
+     * (file "shared-<hex>.bin", named by the content hash alone) and
+     * return that content hash.  If a checksum-valid blob with the
+     * same content already exists the write is skipped and the
+     * "artifact_cache.blob_share_hits" counter bumped — this is how
+     * artifacts that embed identical byte ranges (the fused whole-run
+     * node and its cache/timing projections) share storage instead of
+     * double-storing.  A present-but-corrupt file is rewritten
+     * (healing).  Writes go through a temp file + atomic rename so
+     * concurrent writers of the same content can never expose a torn
+     * blob.  No-op (but still returns the hash) when disabled.
+     */
+    u64 storeShared(const u8 *data, std::size_t size) const;
+
+    /** Look up the shared sub-blob with content hash @p contentHash;
+     *  outcome semantics identical to load(). */
+    CacheOutcome loadShared(u64 contentHash) const;
+
+    /**
      * Version salt mixed into every key; bump when serialized
      * layouts or producing algorithms change.
      */

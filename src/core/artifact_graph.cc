@@ -2,11 +2,13 @@
 
 #include <array>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdio>
 
 #include "obs/counters.hh"
 #include "obs/trace.hh"
 #include "pinball/logger.hh"
+#include "support/env.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 #include "support/thread_pool.hh"
@@ -26,6 +28,13 @@ static_assert(sizeof(LevelCounts) == 16);
 static_assert(sizeof(CacheRunMetrics) == 120);
 static_assert(sizeof(TimingRunMetrics) == 64);
 static_assert(sizeof(FusedWholeMetrics) == 184);
+// The blob-sharing scheme (see sharedRanges below) depends on the
+// fused struct being the exact byte-wise concatenation of its two
+// views, with no padding between or after them.
+static_assert(sizeof(FusedWholeMetrics) ==
+              sizeof(CacheRunMetrics) + sizeof(TimingRunMetrics));
+static_assert(offsetof(FusedWholeMetrics, timing) ==
+              sizeof(CacheRunMetrics));
 static_assert(sizeof(PointCacheMetrics) == 128);
 static_assert(sizeof(PointTimingMetrics) == 72);
 static_assert(sizeof(PerfCounters) == 48);
@@ -39,6 +48,9 @@ struct KindInfo
      *  algorithm or serialized layout of this kind changes. */
     u64 salt;
     bool persisted;
+    /** Persisted as a *ref blob* over content-addressed shared
+     *  sub-blobs instead of inline bytes (see ensure()). */
+    bool shared;
     std::vector<ArtifactKind> deps;
 };
 
@@ -46,38 +58,68 @@ const KindInfo &
 kindInfo(ArtifactKind k)
 {
     static const std::array<KindInfo, kNumArtifactKinds> table = {{
-        {"spec", "graph.spec", 0x7370656300000001ULL, false, {}},
+        {"spec", "graph.spec", 0x7370656300000001ULL, false, false,
+         {}},
         {"bbvprofile", "graph.bbv_profile", 0x6262767000000001ULL,
-         false, {ArtifactKind::Spec}},
+         false, false, {ArtifactKind::Spec}},
         {"simpoints", "graph.simpoints", 0x73696d7000000001ULL,
-         true, {ArtifactKind::BbvProfile}},
-        // Memory-resident only: persisting it would double-store the
-        // cache/timing bytes already held by the projection blobs.
-        {"wholefused", "graph.whole_fused", 0x7766757300000001ULL,
-         false, {ArtifactKind::Spec}},
-        // Salt bumped (..01 -> ..02) with the fused-traversal
+         true, false, {ArtifactKind::BbvProfile}},
+        // Persisted via shared sub-blobs: the fused value is the
+        // byte-wise concatenation of the cache and timing views, and
+        // the projection ref-blobs point at those same sub-blobs, so
+        // persisting it costs one small ref blob — no double-stored
+        // metric bytes — and a warm bench run skips the fused
+        // traversal entirely.  Salt bumped (..01 -> ..02) when the
+        // node became persisted/shared.  SPLAB_FUSED_PERSIST=0
+        // restores the memory-resident behaviour.
+        {"wholefused", "graph.whole_fused", 0x7766757300000002ULL,
+         true, true, {ArtifactKind::Spec}},
+        // Salts bumped (..01 -> ..02) with the fused-traversal
         // rewrite so pre-fusion blobs are never mixed with
-        // post-fusion ones.
-        {"wholecache", "graph.whole_cache", 0x7763616300000002ULL,
-         true, {ArtifactKind::Spec}},
-        {"wholetiming", "graph.whole_timing", 0x7774696d00000002ULL,
-         true, {ArtifactKind::Spec}},
+        // post-fusion ones, then (..02 -> ..03) when the persisted
+        // layout changed from inline metric bytes to a shared-blob
+        // ref.
+        {"wholecache", "graph.whole_cache", 0x7763616300000003ULL,
+         true, true, {ArtifactKind::Spec}},
+        {"wholetiming", "graph.whole_timing", 0x7774696d00000003ULL,
+         true, true, {ArtifactKind::Spec}},
         {"regionalpinball", "graph.regional_pinball",
-         0x7270696e00000001ULL, false,
+         0x7270696e00000001ULL, false, false,
          {ArtifactKind::Spec, ArtifactKind::SimPoints}},
         {"pointscold", "graph.points_cache_cold",
-         0x70636f6c00000001ULL, true,
+         0x70636f6c00000001ULL, true, false,
          {ArtifactKind::RegionalPinball}},
         {"pointswarm", "graph.points_cache_warm",
-         0x7077726d00000001ULL, true,
+         0x7077726d00000001ULL, true, false,
          {ArtifactKind::RegionalPinball}},
         {"native", "graph.native", 0x6e61746900000001ULL, true,
-         {ArtifactKind::Spec}},
+         false, {ArtifactKind::Spec}},
         {"pointstiming", "graph.points_timing",
-         0x7074696d00000001ULL, true,
+         0x7074696d00000001ULL, true, false,
          {ArtifactKind::RegionalPinball}},
     }};
     return table[static_cast<u8>(k)];
+}
+
+/**
+ * Byte ranges of the shareable components of one serialized shared
+ * artifact.  FusedWholeMetrics is serialized as raw struct bytes and
+ * is (statically asserted) the padding-free concatenation of
+ * CacheRunMetrics and TimingRunMetrics, so splitting it at the
+ * member boundary yields exactly the projections' serialized bytes —
+ * the fused node and both projections address the same two
+ * sub-blobs.
+ */
+std::vector<std::pair<std::size_t, std::size_t>>
+sharedRanges(ArtifactKind k, std::size_t totalSize)
+{
+    if (k == ArtifactKind::WholeFused) {
+        SPLAB_ASSERT(totalSize == sizeof(FusedWholeMetrics),
+                     "unexpected fused blob size ", totalSize);
+        return {{0, sizeof(CacheRunMetrics)},
+                {sizeof(CacheRunMetrics), sizeof(TimingRunMetrics)}};
+    }
+    return {{0, totalSize}};
 }
 
 } // namespace
@@ -98,6 +140,12 @@ bool
 artifactKindPersisted(ArtifactKind k)
 {
     return kindInfo(k).persisted;
+}
+
+bool
+artifactKindShared(ArtifactKind k)
+{
+    return kindInfo(k).shared;
 }
 
 u64
@@ -399,6 +447,45 @@ ArtifactGraph::computeValue(const std::string &name,
                 static_cast<int>(static_cast<u8>(kind)));
 }
 
+namespace
+{
+
+/**
+ * Materialize a shared-kind artifact from its ref blob: read the
+ * sub-blob content hashes, load each shared sub-blob, concatenate
+ * their raw bytes and deserialize as usual.  Returns false (after
+ * bumping "graph.shared_blob_fallbacks") when any sub-blob is
+ * missing or corrupt — the caller then recomputes and re-stores,
+ * which heals the damaged sub-blob file.
+ */
+bool
+loadSharedValue(const ArtifactCache &cache, ArtifactKind kind,
+                ByteReader &ref, ArtifactValue &out)
+{
+    static obs::Counter &fallbacks =
+        obs::counter("graph.shared_blob_fallbacks",
+                     "shared-blob refs with a missing or corrupt "
+                     "sub-blob (artifact recomputed)");
+
+    u64 n = ref.get<u64>();
+    ByteWriter assembled;
+    for (u64 i = 0; i < n; ++i) {
+        u64 h = ref.get<u64>();
+        CacheOutcome sub = cache.loadShared(h);
+        if (!sub.hit()) {
+            fallbacks.add();
+            return false;
+        }
+        std::vector<u8> bytes = sub->getRaw(sub->remaining());
+        assembled.putRaw(bytes.data(), bytes.size());
+    }
+    ByteReader r(assembled.bytes());
+    out = deserializeArtifact(kind, r);
+    return true;
+}
+
+} // namespace
+
 const ArtifactValue &
 ArtifactGraph::ensure(const std::string &name, ArtifactKind kind)
 {
@@ -426,24 +513,49 @@ ArtifactGraph::ensure(const std::string &name, ArtifactKind kind)
     ArtifactValue v;
     try {
         obs::TraceSpan span(info.spanName);
+        // SPLAB_FUSED_PERSIST=0 keeps the fused node memory-resident
+        // (pre-sharing behaviour); the projections persist either way.
+        bool persist = info.persisted &&
+                       (kind != ArtifactKind::WholeFused ||
+                        fusedPersistEnabled());
         bool loaded = false;
         u64 key = 0;
-        if (info.persisted && cache->enabled()) {
+        if (persist && cache->enabled()) {
             key = artifactKey(name, kind);
             CacheOutcome got = cache->load(info.name, key);
             if (got.hit()) {
-                v = deserializeArtifact(kind, *got);
-                hits.add();
-                loaded = true;
+                if (info.shared)
+                    loaded = loadSharedValue(*cache, kind, *got, v);
+                else {
+                    v = deserializeArtifact(kind, *got);
+                    loaded = true;
+                }
+                if (loaded)
+                    hits.add();
             }
         }
         if (!loaded) {
             v = computeValue(name, kind);
             computed.add();
-            if (info.persisted && cache->enabled()) {
+            if (persist && cache->enabled()) {
                 ByteWriter w;
                 serializeArtifact(w, v);
-                cache->store(info.name, key, w);
+                if (info.shared) {
+                    // Ref blob: sub-blob count + content hashes.
+                    // The sub-blobs themselves dedup against any
+                    // already-stored identical bytes (the fused node
+                    // and its projections address the same ones).
+                    const std::vector<u8> &raw = w.bytes();
+                    ByteWriter ref;
+                    auto ranges = sharedRanges(kind, raw.size());
+                    ref.put<u64>(ranges.size());
+                    for (auto [off, len] : ranges)
+                        ref.put<u64>(cache->storeShared(
+                            raw.data() + off, len));
+                    cache->store(info.name, key, ref);
+                } else {
+                    cache->store(info.name, key, w);
+                }
             }
         }
     } catch (...) {

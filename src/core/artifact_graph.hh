@@ -38,6 +38,16 @@
  * keep the original narrow slices: an allcache change still leaves
  * WholeTiming's key (and cached blob) untouched.
  *
+ * Blob sharing: the fused node and both projections persist as small
+ * *ref blobs* naming content-addressed shared sub-blobs (the fused
+ * serialization is the exact concatenation of the two projection
+ * serializations, so all three address the same two sub-blob files —
+ * no metric byte is stored twice).  A warm run therefore serves
+ * WholeFused from disk and skips the fused traversal entirely; a
+ * missing or corrupt sub-blob degrades to recompute-and-heal, never
+ * a crash.  SPLAB_FUSED_PERSIST=0 keeps the fused node
+ * memory-resident.  See DESIGN.md section 10.
+ *
  * Scheduling: accessors compute lazily with single-flight per node
  * (concurrent requests for the same node block until the one
  * computation finishes).  runSuite() fans (benchmark x target) tasks
@@ -203,6 +213,11 @@ const std::vector<ArtifactKind> &artifactKindDeps(ArtifactKind k);
 /** Whether this kind is persisted in the on-disk artifact cache
  *  (cheap or upstream-only kinds stay memory-resident). */
 bool artifactKindPersisted(ArtifactKind k);
+
+/** Whether this kind persists as a ref blob over content-addressed
+ *  shared sub-blobs (WholeFused and its two projections, which all
+ *  address the same metric bytes) rather than inline bytes. */
+bool artifactKindShared(ArtifactKind k);
 
 /** Per-node version salt (bump on algorithm/layout change). */
 u64 artifactKindSalt(ArtifactKind k);

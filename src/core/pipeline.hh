@@ -31,7 +31,7 @@ class PinPointsPipeline
 
     /**
      * Share an existing cache instance instead of owning one.  The
-     * experiment drivers (SuiteRunner / ArtifactGraph) construct a
+     * experiment driver (ArtifactGraph) constructs a
      * single ArtifactCache and hand it to every component, so there
      * is one writability probe, one warn-once state and one counter
      * stream per process — never parallel instances drifting apart.

@@ -68,6 +68,16 @@ struct BlockRecord
  * Event content and order are exactly those of the per-block
  * callbacks — batching is a pure delivery reordering, never a
  * semantic change.
+ *
+ * Chunk-grained aggregates: push() folds every block into running
+ * per-batch totals — the summed InstrMix, fp-instruction count,
+ * branch outcome totals and per-static-block instruction sums — so
+ * tools that only need reductions (ldstmix, inscount,
+ * branchprofile, BBV accumulation) consume O(1) (or O(touched
+ * blocks)) per chunk instead of walking the block array.  The
+ * aggregates are pure integer sums of the same per-block fields, so
+ * consuming them is observationally identical to the per-block
+ * reduction in stream order.
  */
 class EventBatch
 {
@@ -82,6 +92,16 @@ class EventBatch
         branchRecs.clear();
         branchFlag.clear();
         totalInstrs = 0;
+        aggMix = InstrMix();
+        aggFp = 0;
+        aggBranches = 0;
+        aggTaken = 0;
+        aggDataDep = 0;
+        // Zero only the touched slots of the dense block-sum array;
+        // a full clear would be O(static blocks) per chunk.
+        for (u32 b : touchedIds)
+            blockSums[b] = 0;
+        touchedIds.clear();
     }
 
     /**
@@ -113,6 +133,20 @@ class EventBatch
         branchRecs.push_back(hasBranch ? br : BranchRecord{});
         branchFlag.push_back(hasBranch ? 1 : 0);
         totalInstrs += rec.instrs;
+
+        aggMix += rec.mix;
+        aggFp += rec.fpInstrs;
+        if (hasBranch) {
+            ++aggBranches;
+            aggTaken += br.taken ? 1 : 0;
+            aggDataDep += br.dataDependent ? 1 : 0;
+        }
+        if (rec.bb >= blockSums.size())
+            blockSums.resize(rec.bb + 1, 0);
+        u64 &sum = blockSums[rec.bb];
+        if (sum == 0)
+            touchedIds.push_back(rec.bb);
+        sum += rec.instrs;
     }
 
     std::size_t numBlocks() const { return blockRecs.size(); }
@@ -171,6 +205,31 @@ class EventBatch
     const std::vector<u8> &branchValid() const { return branchFlag; }
     /// @}
 
+    /// @name Chunk-grained aggregates (see class comment)
+    /// @{
+    /** Summed InstrMix of every block in the batch. */
+    const InstrMix &mixTotal() const { return aggMix; }
+    /** Summed fp-instruction count. */
+    ICount fpTotal() const { return aggFp; }
+    /** Terminating branches in the batch. */
+    u64 branchTotal() const { return aggBranches; }
+    /** ... of which taken. */
+    u64 takenTotal() const { return aggTaken; }
+    /** ... of which data-dependent (hard to predict). */
+    u64 dataDependentTotal() const { return aggDataDep; }
+    /**
+     * Static blocks executed at least once in this batch, in
+     * first-touch (stream) order.  blockInstrSum() of every other
+     * block is zero.
+     */
+    const std::vector<u32> &touchedBlocks() const
+    {
+        return touchedIds;
+    }
+    /** Total instructions block @p bb contributed to this batch. */
+    u64 blockInstrSum(u32 bb) const { return blockSums[bb]; }
+    /// @}
+
   private:
     std::vector<BlockRecord> blockRecs;
     std::vector<MemAccess> accPool;
@@ -179,6 +238,17 @@ class EventBatch
     std::vector<BranchRecord> branchRecs;
     std::vector<u8> branchFlag;
     ICount totalInstrs = 0;
+
+    InstrMix aggMix;
+    ICount aggFp = 0;
+    u64 aggBranches = 0;
+    u64 aggTaken = 0;
+    u64 aggDataDep = 0;
+    /** blockSums[bb] = instructions of static block bb in this
+     *  batch; dense, grown to the highest BlockId seen, reset via
+     *  the touched list. */
+    std::vector<u64> blockSums;
+    std::vector<u32> touchedIds;
 };
 
 } // namespace splab

@@ -25,20 +25,18 @@ void
 AllCacheTool::onBatch(const EventBatch &batch)
 {
     // Same event order as the per-block path (fetch, then that
-    // block's accesses), but the L1D probe runs over the contiguous
-    // SoA access pool with the hierarchy walk hoisted out to the
-    // miss case only.
-    SetAssocCache &l1d = caches->levelRef(CacheLevel::L1D);
+    // block's accesses), over the contiguous SoA access pool.  Data
+    // references must go through accessData(): the hierarchy keeps
+    // an absent-from-L1D memo there that a direct levelRef() probe
+    // would silently invalidate.
     const BlockRecord *blocks = batch.blocks().data();
     const MemAccess *pool = batch.accessPool().data();
     const u32 *off = batch.offsets().data();
     const std::size_t n = batch.numBlocks();
     for (std::size_t b = 0; b < n; ++b) {
         caches->accessInstr(blocks[b].pc);
-        for (u32 i = off[b]; i < off[b + 1]; ++i) {
-            if (!l1d.access(pool[i].addr, pool[i].isWrite))
-                caches->descendData(pool[i].addr, pool[i].isWrite);
-        }
+        for (u32 i = off[b]; i < off[b + 1]; ++i)
+            caches->accessData(pool[i].addr, pool[i].isWrite);
     }
 }
 

@@ -32,7 +32,10 @@ class BbvTool : public PinTool
     void onRunStart(const SyntheticWorkload &workload) override;
     void onBlock(const BlockRecord &rec, const MemAccess *,
                  std::size_t, const BranchRecord *) override;
-    /** Batch path: same accumulation, devirtualized block loop. */
+    /** Batch path: accumulates from the batch's per-static-block
+     *  instruction sums (O(touched blocks) per chunk); falls back to
+     *  the per-block walk only when a slice boundary lands inside
+     *  the batch.  Byte-identical output either way. */
     void onBatch(const EventBatch &batch) override;
     void onRunEnd() override;
 

@@ -30,23 +30,14 @@ class BranchProfileTool : public PinTool
             ++dataDependent;
     }
 
-    /** Batch path: walk the branch array, guarded by the validity
-     *  flags (a zero flag means the block had no branch). */
+    /** Batch path: O(1) per chunk off the precomputed aggregates
+     *  (the batch counted branch outcomes at push time). */
     void
     onBatch(const EventBatch &batch) override
     {
-        const BranchRecord *brs = batch.branches().data();
-        const u8 *flags = batch.branchValid().data();
-        const std::size_t n = batch.numBlocks();
-        for (std::size_t i = 0; i < n; ++i) {
-            if (!flags[i])
-                continue;
-            ++branches;
-            if (brs[i].taken)
-                ++taken;
-            if (brs[i].dataDependent)
-                ++dataDependent;
-        }
+        branches += batch.branchTotal();
+        taken += batch.takenTotal();
+        dataDependent += batch.dataDependentTotal();
     }
 
     u64 branchCount() const { return branches; }

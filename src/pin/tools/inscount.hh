@@ -27,6 +27,15 @@ class InsCountTool : public PinTool
             ++branches;
     }
 
+    /** Batch path: O(1) per chunk off the precomputed aggregates. */
+    void
+    onBatch(const EventBatch &batch) override
+    {
+        instrs += batch.instrs();
+        blocks += batch.numBlocks();
+        branches += batch.branchTotal();
+    }
+
     ICount instructions() const { return instrs; }
     u64 blockCount() const { return blocks; }
     u64 branchCount() const { return branches; }

@@ -27,16 +27,13 @@ class LdStMixTool : public PinTool
         fpInstrs += rec.fpInstrs;
     }
 
-    /** Batch path: sum mixes straight off the SoA block array. */
+    /** Batch path: O(1) per chunk off the precomputed aggregates
+     *  (the batch already summed the per-block mixes at push time). */
     void
     onBatch(const EventBatch &batch) override
     {
-        const BlockRecord *blocks = batch.blocks().data();
-        const std::size_t n = batch.numBlocks();
-        for (std::size_t i = 0; i < n; ++i) {
-            total += blocks[i].mix;
-            fpInstrs += blocks[i].fpInstrs;
-        }
+        total += batch.mixTotal();
+        fpInstrs += batch.fpTotal();
     }
 
     const InstrMix &mix() const { return total; }

@@ -64,4 +64,10 @@ artifactCacheDir()
     return envString("SPLAB_CACHE", "splab_cache");
 }
 
+bool
+fusedPersistEnabled()
+{
+    return envLong("SPLAB_FUSED_PERSIST", 1) != 0;
+}
+
 } // namespace splab

@@ -21,6 +21,11 @@
  *  - SPLAB_MANIFEST: 0 = suppress the "<binary>.manifest.json" run
  *                    manifest benches write by default (see
  *                    obs/manifest.hh).
+ *  - SPLAB_FUSED_PERSIST: 0 = keep the fused whole-run artifact
+ *                    memory-resident instead of persisting it to the
+ *                    artifact cache as shared sub-blobs (see
+ *                    core/artifact_graph.hh).  Default on; the
+ *                    projection artifacts persist either way.
  */
 
 #ifndef SPLAB_SUPPORT_ENV_HH
@@ -45,6 +50,10 @@ double workloadScale();
 
 /** Artifact cache directory (SPLAB_CACHE); empty = disabled. */
 std::string artifactCacheDir();
+
+/** Whether the fused whole-run artifact is persisted to the disk
+ *  cache (SPLAB_FUSED_PERSIST; default on). */
+bool fusedPersistEnabled();
 
 } // namespace splab
 

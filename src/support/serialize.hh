@@ -38,6 +38,14 @@ class ByteWriter
     /** Append a length-prefixed string. */
     void putString(const std::string &s);
 
+    /** Append @p n raw bytes verbatim (no length prefix); used to
+     *  reassemble artifacts from shared sub-blobs. */
+    void
+    putRaw(const u8 *data, std::size_t n)
+    {
+        buf.insert(buf.end(), data, data + n);
+    }
+
     /** Append a length-prefixed vector of scalars. */
     template <typename T>
     void
@@ -98,6 +106,18 @@ class ByteReader
         std::vector<T> v(n);
         std::memcpy(v.data(), buf.data() + pos, n * sizeof(T));
         pos += n * sizeof(T);
+        return v;
+    }
+
+    /** Consume @p n raw bytes (no length prefix); the counterpart of
+     *  ByteWriter::putRaw. */
+    std::vector<u8>
+    getRaw(std::size_t n)
+    {
+        SPLAB_ASSERT(pos + n <= buf.size(),
+                     "serialized data truncated");
+        std::vector<u8> v(buf.begin() + pos, buf.begin() + pos + n);
+        pos += n;
         return v;
     }
 

@@ -83,6 +83,12 @@ IntervalCoreTool::onBlock(const BlockRecord &rec, const MemAccess *accs,
     for (std::size_t i = 0; i < nAccs; ++i) {
         HitLevel level = caches->accessData(accs[i].addr,
                                             accs[i].isWrite);
+        // L1 hits expose zero latency and touch no timing state, so
+        // skip the latency call entirely on the (dominant) hit path;
+        // exposedLatency(L1) would return 0.0 with no side effects,
+        // making this guard byte-neutral.
+        if (level == HitLevel::L1)
+            continue;
         // Store misses retire through the write buffer; only loads
         // expose their full latency to the critical path.
         double scale = accs[i].isWrite ? 0.3 : 1.0;

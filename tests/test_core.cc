@@ -11,7 +11,7 @@
 #include <filesystem>
 
 #include "core/costmodel.hh"
-#include "core/experiments.hh"
+#include "core/artifact_graph.hh"
 #include "core/pipeline.hh"
 #include "core/runs.hh"
 #include "core/scale.hh"
@@ -291,18 +291,18 @@ TEST(Runs, TimingPointsProduceFiniteCpi)
               points.size() * cfg.sliceInstrs);
 }
 
-TEST(SuiteRunnerT, ReduceToQuantileKeepsHeaviest)
+TEST(ReduceToQuantile, KeepsHeaviest)
 {
     std::vector<PointCacheMetrics> pts(4);
     pts[0].weight = 0.4;
     pts[1].weight = 0.3;
     pts[2].weight = 0.2;
     pts[3].weight = 0.1;
-    auto reduced = SuiteRunner::reduceToQuantile(pts, 0.9);
+    auto reduced = reduceToQuantile(pts, 0.9);
     ASSERT_EQ(reduced.size(), 3u);
     EXPECT_DOUBLE_EQ(reduced[0].weight, 0.4);
     EXPECT_DOUBLE_EQ(reduced[2].weight, 0.2);
-    auto all = SuiteRunner::reduceToQuantile(pts, 1.0);
+    auto all = reduceToQuantile(pts, 1.0);
     EXPECT_EQ(all.size(), 4u);
 }
 

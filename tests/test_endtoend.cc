@@ -7,7 +7,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/experiments.hh"
+#include "core/artifact_graph.hh"
 #include "core/pipeline.hh"
 #include "core/runs.hh"
 #include "core/scale.hh"
@@ -116,7 +116,7 @@ TEST_F(EndToEnd, InstructionMixWithinOnePercent)
 
 TEST_F(EndToEnd, ReducedRegionalStillTracksMix)
 {
-    auto reduced = SuiteRunner::reduceToQuantile(*cold, 0.9);
+    auto reduced = reduceToQuantile(*cold, 0.9);
     AggregateCacheMetrics agg = aggregateCache(reduced);
     for (std::size_t c = 0; c < kNumMemClasses; ++c)
         EXPECT_NEAR(agg.mixFrac[c], whole->mixFrac[c], 0.02);

@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 #include "core/artifact_graph.hh"
 #include "core/runs.hh"
 #include "obs/counters.hh"
@@ -218,6 +221,188 @@ TEST(EventBatching, BatchLayoutInvariants)
     // One batch per chunk, covering the full instruction budget.
     EXPECT_EQ(sink.batches, spec.totalChunks);
     EXPECT_EQ(sink.totalInstrs, spec.totalChunks * spec.chunkLen);
+}
+
+/** Sink that recomputes every per-chunk aggregate from the raw
+ *  arrays and checks it against the precomputed accessors. */
+class AggregateCheckSink : public EventSink
+{
+  public:
+    void
+    onBlock(const BlockRecord &, const MemAccess *, std::size_t,
+            const BranchRecord *) override
+    {
+    }
+
+    void
+    onBatch(const EventBatch &batch) override
+    {
+        ++batches;
+        InstrMix mix;
+        ICount fp = 0;
+        u64 branches = 0, taken = 0, dataDep = 0;
+        std::map<u32, u64> sums;
+        const std::size_t n = batch.numBlocks();
+        for (std::size_t i = 0; i < n; ++i) {
+            const BlockRecord &rec = batch.block(i);
+            mix += rec.mix;
+            fp += rec.fpInstrs;
+            if (const BranchRecord *br = batch.branch(i)) {
+                ++branches;
+                taken += br->taken ? 1 : 0;
+                dataDep += br->dataDependent ? 1 : 0;
+            }
+            sums[rec.bb] += rec.instrs;
+        }
+        for (std::size_t c = 0; c < kNumMemClasses; ++c)
+            ASSERT_EQ(batch.mixTotal().count[c], mix.count[c]);
+        ASSERT_EQ(batch.fpTotal(), fp);
+        ASSERT_EQ(batch.branchTotal(), branches);
+        ASSERT_EQ(batch.takenTotal(), taken);
+        ASSERT_EQ(batch.dataDependentTotal(), dataDep);
+
+        // The touched-block list names each touched block exactly
+        // once, the per-block sums match a from-scratch reduction,
+        // and together they cover the batch's instruction total.
+        std::set<u32> seen;
+        u64 total = 0;
+        for (u32 b : batch.touchedBlocks()) {
+            ASSERT_TRUE(seen.insert(b).second)
+                << "duplicate touched block " << b;
+            auto it = sums.find(b);
+            ASSERT_NE(it, sums.end()) << "untouched block " << b;
+            ASSERT_EQ(batch.blockInstrSum(b), it->second);
+            total += it->second;
+        }
+        ASSERT_EQ(seen.size(), sums.size());
+        ASSERT_EQ(total, batch.instrs());
+    }
+
+    std::size_t batches = 0;
+};
+
+TEST(EventBatching, ChunkAggregatesMatchPerBlockReduction)
+{
+    BenchmarkSpec spec = smallSpec(120);
+    SyntheticWorkload wl(spec);
+    AggregateCheckSink sink;
+    wl.run(0, spec.totalChunks, sink, true);
+    EXPECT_EQ(sink.batches, spec.totalChunks);
+}
+
+TEST(BbvToolT, HalfFullSliverBoundary)
+{
+    // 25 chunks at slice = 10 chunks leaves a final sliver with
+    // inSlice * 2 == sliceInstrs exactly — the keep/drop boundary.
+    // A half-full sliver is kept; just under half (24 chunks -> 0.4
+    // of a slice) is dropped.  Both delivery grains must agree, and
+    // the kept vectors must be bit-identical (the chunk-aggregate
+    // BBV path reassociates exact integer-valued doubles only).
+    for (u64 chunks : {u64{25}, u64{24}}) {
+        BenchmarkSpec spec = smallSpec(chunks);
+        const ICount slice = spec.chunkLen * 10;
+        const std::size_t expectSlices = chunks == 25 ? 3 : 2;
+
+        BbvTool batched(slice);
+        Engine eb;
+        eb.attach(&batched);
+        SyntheticWorkload wlA(spec);
+        eb.runWhole(wlA);
+
+        BbvTool perBlock(slice);
+        Engine ep;
+        ep.attach(&perBlock);
+        PerBlockFanout fanout(ep);
+        SyntheticWorkload wlB(spec);
+        perBlock.onRunStart(wlB);
+        wlB.run(0, spec.totalChunks, fanout, false);
+        perBlock.onRunEnd();
+
+        ASSERT_EQ(batched.vectors().size(), expectSlices)
+            << chunks << " chunks";
+        ASSERT_EQ(perBlock.vectors().size(), expectSlices);
+        for (std::size_t s = 0; s < expectSlices; ++s) {
+            const auto &ea = batched.vectors()[s].entries;
+            const auto &eb2 = perBlock.vectors()[s].entries;
+            ASSERT_EQ(ea.size(), eb2.size()) << "slice " << s;
+            for (std::size_t i = 0; i < ea.size(); ++i) {
+                EXPECT_EQ(ea[i].block, eb2[i].block);
+                // Exact, not approximate: byte-stability of the BBV
+                // artifact is what keeps its cache salt unbumped.
+                EXPECT_EQ(ea[i].weight, eb2[i].weight);
+            }
+        }
+    }
+}
+
+TEST(HierarchyMemo, AccessDataMatchesMemoFreeWalk)
+{
+    // The absent-from-L1D memo must be semantically invisible: same
+    // per-access hit levels and same per-level counters as a plain
+    // L1D -> L2 -> L3 walk over memo-free caches.  Random streams
+    // with a working set far above L1D capacity make missing lines
+    // repeat (the memo's target case); a mid-stream flush checks the
+    // memo resets with the contents.
+    for (const HierarchyConfig &base :
+         {tableIConfig(), tableIIIConfig()}) {
+        for (ReplacementPolicy pol :
+             {ReplacementPolicy::LRU, ReplacementPolicy::FIFO}) {
+            HierarchyConfig cfg = base;
+            cfg.l1d.replacement = pol;
+            cfg.l2.replacement = pol;
+            cfg.l3.replacement = pol;
+
+            CacheHierarchy hier(cfg);
+            SetAssocCache refL1d(cfg.l1d);
+            SetAssocCache refL2(cfg.l2);
+            SetAssocCache refL3(cfg.l3);
+
+            u64 state = 0x9e3779b97f4a7c15ULL ^ cfg.contentHash();
+            for (int i = 0; i < 200000; ++i) {
+                if (i == 100000) {
+                    hier.flush();
+                    refL1d.flush();
+                    refL2.flush();
+                    refL3.flush();
+                }
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                Addr addr = (state % (256 * 1024)) & ~7ULL;
+                bool isWrite = (state >> 21) & 1;
+                HitLevel got = hier.accessData(addr, isWrite);
+                HitLevel want =
+                    refL1d.access(addr, isWrite) ? HitLevel::L1
+                    : refL2.access(addr, isWrite)
+                        ? HitLevel::L2
+                        : refL3.access(addr, isWrite)
+                              ? HitLevel::L3
+                              : HitLevel::Memory;
+                ASSERT_EQ(static_cast<int>(got),
+                          static_cast<int>(want))
+                    << "access " << i << " policy "
+                    << replacementPolicyName(pol);
+            }
+
+            auto expectSame = [](const CacheStats &a,
+                                 const CacheStats &b) {
+                EXPECT_EQ(a.accesses, b.accesses);
+                EXPECT_EQ(a.misses, b.misses);
+                EXPECT_EQ(a.readAccesses, b.readAccesses);
+                EXPECT_EQ(a.readMisses, b.readMisses);
+                EXPECT_EQ(a.writeAccesses, b.writeAccesses);
+                EXPECT_EQ(a.writeMisses, b.writeMisses);
+            };
+            expectSame(hier.levelStats(CacheLevel::L1D),
+                       refL1d.statsRef());
+            expectSame(hier.levelStats(CacheLevel::L2),
+                       refL2.statsRef());
+            expectSame(hier.levelStats(CacheLevel::L3),
+                       refL3.statsRef());
+            // The stream really exercised the memo's target case.
+            EXPECT_GT(hier.levelStats(CacheLevel::L1D).misses, 0u);
+        }
+    }
 }
 
 TEST(EventBatching, EngineCountsBatches)

@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <filesystem>
 
-#include "core/experiments.hh"
+#include "core/artifact_graph.hh"
 #include "core/pipeline.hh"
 #include "obs/counters.hh"
 #include "obs/json.hh"
