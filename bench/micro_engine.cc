@@ -22,10 +22,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <random>
 
 #include "bench_util.hh"
 #include "core/runs.hh"
+#include "isa/accumulate.hh"
 #include "pin/engine.hh"
+#include "support/thread_pool.hh"
 #include "pin/tools/allcache.hh"
 #include "pin/tools/bbv_tool.hh"
 #include "pin/tools/branch_profile.hh"
@@ -718,6 +721,141 @@ main(int, char **argv)
                      kernelsSame ? "yes" : "NO"});
     kernelTable.print();
 
+    // ---- Part 4: generation pipeline off vs on ----
+    // The same fused pass, serial generation vs the producer/consumer
+    // pipeline (SPLAB_GEN_PIPELINE), under a multi-worker pool.  The
+    // wall-clock win tracks the physical core count — on a 1-core CI
+    // box both legs time the same work — but the byte-equality check
+    // is the contract and holds everywhere.
+    const std::size_t pipeThreads =
+        std::max<std::size_t>(parallelThreads(), 4);
+    ThreadPool::setGlobalThreads(pipeThreads);
+    const char *pipeEnvOld = std::getenv("SPLAB_GEN_PIPELINE");
+    const std::vector<std::string> pipeBenches(
+        benches.begin(),
+        benches.begin() + std::min<std::size_t>(3, benches.size()));
+    double pipeOffSec = 0.0, pipeOnSec = 0.0;
+    bool pipeSame = true;
+    for (const std::string &name : pipeBenches) {
+        BenchmarkSpec spec = benchmarkByName(name);
+        const ICount slice = cfg.simpoint.sliceInstrs;
+
+        FusedWholeResult off, on;
+        setenv("SPLAB_GEN_PIPELINE", "0", 1);
+        double os = wallSeconds([&] {
+            off = measureWholeFused(spec, cfg.allcache, cfg.machine,
+                                    slice);
+        });
+        setenv("SPLAB_GEN_PIPELINE", "1", 1);
+        double ps = wallSeconds([&] {
+            on = measureWholeFused(spec, cfg.allcache, cfg.machine,
+                                   slice);
+        });
+
+        bool same =
+            cacheBytesNoWall(off.cache) == cacheBytesNoWall(on.cache) &&
+            timingBytesNoWall(off.timing) ==
+                timingBytesNoWall(on.timing) &&
+            bbvsEqual(off.bbvs, on.bbvs);
+        if (!same)
+            std::printf("[FAIL] pipelined != serial generation on "
+                        "%s\n",
+                        name.c_str());
+        pipeSame = pipeSame && same;
+        pipeOffSec += os;
+        pipeOnSec += ps;
+        csv.row({"genpipe", name, "", fmt(os, 4), fmt(ps, 4),
+                 fmt(ps > 0.0 ? os / ps : 0.0, 3),
+                 same ? "1" : "0"});
+    }
+    if (pipeEnvOld)
+        setenv("SPLAB_GEN_PIPELINE", pipeEnvOld, 1);
+    else
+        unsetenv("SPLAB_GEN_PIPELINE");
+    ThreadPool::setGlobalThreads(0);
+    identical = identical && pipeSame;
+    double pipeSpeedup = pipeOnSec > 0.0 ? pipeOffSec / pipeOnSec : 0.0;
+
+    TableWriter pipeTable(
+        "Generation pipeline, " + std::to_string(pipeBenches.size()) +
+        " benchmarks (fused pass, " + std::to_string(pipeThreads) +
+        " threads)");
+    pipeTable.header(
+        {"generation", "wall (s)", "speedup", "identical"});
+    pipeTable.row(
+        {"serial", fmt(pipeOffSec, 3), fmtX(1.0, 2), "-"});
+    pipeTable.row({"pipelined", fmt(pipeOnSec, 3),
+                   fmtX(pipeSpeedup, 2), pipeSame ? "yes" : "NO"});
+    pipeTable.print();
+
+    // ---- Part 5: SIMD vs scalar accumulate kernels ----
+    // The finalize-pass reductions in isolation, on block arrays
+    // shaped like generated chunks; equality is part of the bench
+    // contract just like every other section.
+    const std::size_t simdBlocks = 1 << 18;
+    std::vector<BlockRecord> simdRecs;
+    std::vector<u8> simdValid, simdTaken, simdDataDep;
+    {
+        std::mt19937_64 rng(2017);
+        simdRecs.reserve(simdBlocks);
+        for (std::size_t i = 0; i < simdBlocks; ++i) {
+            BlockRecord r;
+            r.bb = static_cast<u32>(rng() % 4096);
+            r.pc = rng();
+            r.instrs = 1 + static_cast<u32>(rng() % 40);
+            for (std::size_t m = 0; m < r.mix.count.size(); ++m)
+                r.mix.count[m] = rng() % 17;
+            r.fpInstrs = static_cast<u32>(rng() % 9);
+            bool hasBr = (rng() & 1) != 0;
+            r.endsInBranch = hasBr;
+            simdRecs.push_back(r);
+            simdValid.push_back(hasBr ? 1 : 0);
+            simdTaken.push_back(hasBr && (rng() & 1) ? 1 : 0);
+            simdDataDep.push_back(hasBr && (rng() & 1) ? 1 : 0);
+        }
+    }
+    const int simdReps = 40;
+    BatchAggregates scalarAgg, simdAgg;
+    u64 scalarSink = 0, simdSink = 0;
+    double scalarSec = wallSeconds([&] {
+        for (int r = 0; r < simdReps; ++r) {
+            scalarAgg = accumulateScalar(
+                simdRecs.data(), simdRecs.size(), simdValid.data(),
+                simdTaken.data(), simdDataDep.data());
+            scalarSink ^= scalarAgg.instrs + r;
+        }
+    });
+    double simdSec = wallSeconds([&] {
+        for (int r = 0; r < simdReps; ++r) {
+            simdAgg = accumulateSimd(
+                simdRecs.data(), simdRecs.size(), simdValid.data(),
+                simdTaken.data(), simdDataDep.data());
+            simdSink ^= simdAgg.instrs + r;
+        }
+    });
+    bool simdSame =
+        scalarAgg == simdAgg && scalarSink == simdSink;
+    if (!simdSame)
+        std::printf("[FAIL] SIMD accumulate != scalar reference\n");
+    identical = identical && simdSame;
+    double simdSpeedup = simdSec > 0.0 ? scalarSec / simdSec : 0.0;
+    csv.row({"simd", "accumulate", "", fmt(scalarSec, 4),
+             fmt(simdSec, 4), fmt(simdSpeedup, 3),
+             simdSame ? "1" : "0"});
+
+    TableWriter simdTable(
+        "Accumulate kernels, " + std::to_string(simdBlocks) +
+        " blocks x " + std::to_string(simdReps) + " reps (" +
+        (simdAccumulateCompiled() ? "SSE2" : "scalar-only build") +
+        ")");
+    simdTable.header(
+        {"kernel", "wall (s)", "speedup", "identical"});
+    simdTable.row(
+        {"scalar", fmt(scalarSec, 3), fmtX(1.0, 2), "-"});
+    simdTable.row({"simd", fmt(simdSec, 3), fmtX(simdSpeedup, 2),
+                   simdSame ? "yes" : "NO"});
+    simdTable.print();
+
     bench::saveCsv(csv, argv[0]);
 
     const char *jsonPath = "BENCH_engine.json";
@@ -735,13 +873,22 @@ main(int, char **argv)
             "\"kernels_benchmarks\":%zu,"
             "\"kernels_per_block_sec\":%.4f,"
             "\"kernels_batch_sec\":%.4f,"
-            "\"kernels_speedup\":%.3f,\"identical\":%s}\n",
+            "\"kernels_speedup\":%.3f,"
+            "\"genpipe_benchmarks\":%zu,"
+            "\"genpipe_threads\":%zu,"
+            "\"genpipe_off_sec\":%.4f,\"genpipe_on_sec\":%.4f,"
+            "\"genpipe_speedup\":%.3f,"
+            "\"simd_compiled\":%s,"
+            "\"simd_scalar_sec\":%.4f,\"simd_sec\":%.4f,"
+            "\"simd_speedup\":%.3f,\"identical\":%s}\n",
             benches.size(), totalInstrs / 1e6, legacySec, sepSec,
             fusedSec, fusedSpeedup, fusedVsCurrent,
             dispatchBenches.size(), blockSec, batchSec,
             dispatchSpeedup, kernelBenches.size(), kernelBlockSec,
-            kernelBatchSec, kernelSpeedup,
-            identical ? "true" : "false");
+            kernelBatchSec, kernelSpeedup, pipeBenches.size(),
+            pipeThreads, pipeOffSec, pipeOnSec, pipeSpeedup,
+            simdAccumulateCompiled() ? "true" : "false", scalarSec,
+            simdSec, simdSpeedup, identical ? "true" : "false");
         std::fclose(f);
         std::printf("wrote %s\n", jsonPath);
     }

@@ -109,6 +109,11 @@ measureWholeFused(const BenchmarkSpec &spec,
         bbv = std::make_unique<BbvTool>(bbvSliceInstrs);
         engine.attach(bbv.get());
     }
+    // This top-level whole-run pass is where the engine's generation
+    // pipeline engages (SPLAB_GEN_PIPELINE, pin/engine.hh): chunk
+    // generation overlaps tool dispatch across the pool.  The
+    // regional replays below run inside a parallelFor and therefore
+    // take the serial generation path on their own workers.
     ICount instrs = engine.runWhole(wl);
 
     double wall = secondsSince(t0);

@@ -1,0 +1,147 @@
+#include "accumulate.hh"
+
+#include "support/env.hh"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define SPLAB_HAVE_SIMD_ACCUMULATE 1
+#else
+#define SPLAB_HAVE_SIMD_ACCUMULATE 0
+#endif
+
+namespace splab
+{
+
+BatchAggregates
+accumulateScalar(const BlockRecord *blocks, std::size_t n,
+                 const u8 *branchValid, const u8 *takenFlag,
+                 const u8 *dataDepFlag)
+{
+    BatchAggregates a;
+    for (std::size_t i = 0; i < n; ++i) {
+        const BlockRecord &rec = blocks[i];
+        a.mix += rec.mix;
+        a.instrs += rec.instrs;
+        a.fp += rec.fpInstrs;
+    }
+    a.branches = sumBytesScalar(branchValid, n);
+    a.taken = sumBytesScalar(takenFlag, n);
+    a.dataDep = sumBytesScalar(dataDepFlag, n);
+    return a;
+}
+
+u64
+sumBytesScalar(const u8 *p, std::size_t n)
+{
+    u64 s = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        s += p[i];
+    return s;
+}
+
+#if SPLAB_HAVE_SIMD_ACCUMULATE
+
+u64
+sumBytesSimd(const u8 *p, std::size_t n)
+{
+    // psadbw against zero sums 8 bytes into each 64-bit half; the
+    // flags are 0/1 so the per-vector partials cannot overflow and
+    // the running u64 lanes are exact.
+    __m128i acc = _mm_setzero_si128();
+    const __m128i zero = _mm_setzero_si128();
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(p + i));
+        acc = _mm_add_epi64(acc, _mm_sad_epu8(v, zero));
+    }
+    alignas(16) u64 lanes[2];
+    _mm_store_si128(reinterpret_cast<__m128i *>(lanes), acc);
+    u64 s = lanes[0] + lanes[1];
+    for (; i < n; ++i)
+        s += p[i];
+    return s;
+}
+
+BatchAggregates
+accumulateSimd(const BlockRecord *blocks, std::size_t n,
+               const u8 *branchValid, const u8 *takenFlag,
+               const u8 *dataDepFlag)
+{
+    // The four u64 mix lanes of each record are contiguous: two
+    // 128-bit adds accumulate all of them per block.  Integer sums
+    // reassociate exactly, so this matches the scalar reference
+    // bit-for-bit.
+    __m128i mix01 = _mm_setzero_si128();
+    __m128i mix23 = _mm_setzero_si128();
+    u64 instrs = 0, fp = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const BlockRecord &rec = blocks[i];
+        const __m128i *lanes =
+            reinterpret_cast<const __m128i *>(rec.mix.count.data());
+        mix01 = _mm_add_epi64(mix01, _mm_loadu_si128(lanes));
+        mix23 = _mm_add_epi64(mix23, _mm_loadu_si128(lanes + 1));
+        instrs += rec.instrs;
+        fp += rec.fpInstrs;
+    }
+
+    BatchAggregates a;
+    alignas(16) u64 out[2];
+    _mm_store_si128(reinterpret_cast<__m128i *>(out), mix01);
+    a.mix.count[0] = out[0];
+    a.mix.count[1] = out[1];
+    _mm_store_si128(reinterpret_cast<__m128i *>(out), mix23);
+    a.mix.count[2] = out[0];
+    a.mix.count[3] = out[1];
+    a.instrs = instrs;
+    a.fp = fp;
+    a.branches = sumBytesSimd(branchValid, n);
+    a.taken = sumBytesSimd(takenFlag, n);
+    a.dataDep = sumBytesSimd(dataDepFlag, n);
+    return a;
+}
+
+#else // !SPLAB_HAVE_SIMD_ACCUMULATE
+
+u64
+sumBytesSimd(const u8 *p, std::size_t n)
+{
+    return sumBytesScalar(p, n);
+}
+
+BatchAggregates
+accumulateSimd(const BlockRecord *blocks, std::size_t n,
+               const u8 *branchValid, const u8 *takenFlag,
+               const u8 *dataDepFlag)
+{
+    return accumulateScalar(blocks, n, branchValid, takenFlag,
+                            dataDepFlag);
+}
+
+#endif // SPLAB_HAVE_SIMD_ACCUMULATE
+
+bool
+simdAccumulateCompiled()
+{
+    return SPLAB_HAVE_SIMD_ACCUMULATE != 0;
+}
+
+bool
+simdAccumulateEnabled()
+{
+    return simdAccumulateCompiled() && simdKernelsEnabled();
+}
+
+BatchAggregates
+accumulateBatch(const BlockRecord *blocks, std::size_t n,
+                const u8 *branchValid, const u8 *takenFlag,
+                const u8 *dataDepFlag)
+{
+    if (simdAccumulateEnabled())
+        return accumulateSimd(blocks, n, branchValid, takenFlag,
+                              dataDepFlag);
+    return accumulateScalar(blocks, n, branchValid, takenFlag,
+                            dataDepFlag);
+}
+
+} // namespace splab

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Accumulate kernels over the EventBatch SoA arrays.
+ *
+ * Batched per-chunk delivery (DESIGN.md §10) turned the per-block
+ * aggregate reductions — instruction-mix totals, fp counts, branch
+ * outcome totals — into tight loops over contiguous arrays, which
+ * makes them vectorizable.  This header provides both a scalar
+ * reference implementation and an explicitly SIMD one (SSE2 on
+ * x86-64; the scalar path everywhere else), plus the dispatch the
+ * EventBatch uses.
+ *
+ * Equivalence contract: every total is an integer sum, so the SIMD
+ * reassociation is exact — both implementations return bit-identical
+ * results on any input (asserted in tests/test_gen_pipeline.cc and
+ * re-measured every micro_engine run).  SPLAB_SIMD=0 forces the
+ * scalar path at runtime.
+ */
+
+#ifndef SPLAB_ISA_ACCUMULATE_HH
+#define SPLAB_ISA_ACCUMULATE_HH
+
+#include <cstddef>
+
+#include "events.hh"
+
+namespace splab
+{
+
+/** Whole-batch reductions of the per-block event fields. */
+struct BatchAggregates
+{
+    InstrMix mix;        ///< summed per-MemClass instruction counts
+    ICount instrs = 0;   ///< summed rec.instrs (== mix total)
+    ICount fp = 0;       ///< summed fp-instruction counts
+    u64 branches = 0;    ///< blocks ending in a branch
+    u64 taken = 0;       ///< ... of which taken
+    u64 dataDep = 0;     ///< ... of which data-dependent
+
+    bool
+    operator==(const BatchAggregates &o) const
+    {
+        for (std::size_t c = 0; c < kNumMemClasses; ++c)
+            if (mix.count[c] != o.mix.count[c])
+                return false;
+        return instrs == o.instrs && fp == o.fp &&
+               branches == o.branches && taken == o.taken &&
+               dataDep == o.dataDep;
+    }
+};
+
+/**
+ * Scalar reference: one pass over @p n blocks, summing the mix
+ * lanes, instruction/fp counts and the three 0/1 branch-flag arrays
+ * (@p branchValid / @p takenFlag / @p dataDepFlag, each @p n long).
+ */
+BatchAggregates accumulateScalar(const BlockRecord *blocks,
+                                 std::size_t n, const u8 *branchValid,
+                                 const u8 *takenFlag,
+                                 const u8 *dataDepFlag);
+
+/**
+ * SIMD implementation: 128-bit lane-parallel adds over the mix
+ * counts and psadbw byte-sums over the flag arrays.  Compiles to the
+ * scalar reference where no SIMD ISA is available.
+ */
+BatchAggregates accumulateSimd(const BlockRecord *blocks,
+                               std::size_t n, const u8 *branchValid,
+                               const u8 *takenFlag,
+                               const u8 *dataDepFlag);
+
+/** Dispatch: SIMD when compiled in and not disabled via SPLAB_SIMD=0. */
+BatchAggregates accumulateBatch(const BlockRecord *blocks,
+                                std::size_t n, const u8 *branchValid,
+                                const u8 *takenFlag,
+                                const u8 *dataDepFlag);
+
+/** True when the SIMD path was compiled in (SSE2 present). */
+bool simdAccumulateCompiled();
+
+/** True when accumulateBatch() will take the SIMD path. */
+bool simdAccumulateEnabled();
+
+/** Sum of a 0/1 byte array (exposed for tests and benches). */
+u64 sumBytesScalar(const u8 *p, std::size_t n);
+u64 sumBytesSimd(const u8 *p, std::size_t n);
+
+} // namespace splab
+
+#endif // SPLAB_ISA_ACCUMULATE_HH

@@ -1,0 +1,58 @@
+#include "events.hh"
+
+#include "accumulate.hh"
+
+namespace splab
+{
+
+void
+EventBatch::finalizeAggregates() const
+{
+    if (aggValid)
+        return;
+
+    // Whole-batch totals via the vectorized accumulate kernels
+    // (isa/accumulate.hh); integer sums, so bit-identical to the
+    // per-block reduction in stream order.
+    BatchAggregates a = accumulateBatch(
+        blockRecs.data(), blockRecs.size(), branchFlag.data(),
+        takenFlag.data(), dataDepFlag.data());
+    aggMix = a.mix;
+    totalInstrs = a.instrs;
+    aggFp = a.fp;
+    aggBranches = a.branches;
+    aggTaken = a.taken;
+    aggDataDep = a.dataDep;
+
+    // Per-static-block sums and the first-touch order of touchedIds
+    // are a scatter over BlockIds; recomputed from scratch so a
+    // finalize after further pushes never double-counts.
+    for (u32 b : touchedIds)
+        blockSums[b] = 0;
+    touchedIds.clear();
+    for (const BlockRecord &rec : blockRecs) {
+        if (rec.bb >= blockSums.size())
+            blockSums.resize(rec.bb + 1, 0);
+        u64 &sum = blockSums[rec.bb];
+        if (sum == 0)
+            touchedIds.push_back(rec.bb);
+        sum += rec.instrs;
+    }
+    aggValid = true;
+}
+
+std::size_t
+EventBatch::capacityBytes() const
+{
+    return blockRecs.capacity() * sizeof(BlockRecord) +
+           accPool.capacity() * sizeof(MemAccess) +
+           accOff.capacity() * sizeof(u32) +
+           branchRecs.capacity() * sizeof(BranchRecord) +
+           (branchFlag.capacity() + takenFlag.capacity() +
+            dataDepFlag.capacity()) *
+               sizeof(u8) +
+           blockSums.capacity() * sizeof(u64) +
+           touchedIds.capacity() * sizeof(u32);
+}
+
+} // namespace splab

@@ -69,15 +69,20 @@ struct BlockRecord
  * callbacks — batching is a pure delivery reordering, never a
  * semantic change.
  *
- * Chunk-grained aggregates: push() folds every block into running
- * per-batch totals — the summed InstrMix, fp-instruction count,
- * branch outcome totals and per-static-block instruction sums — so
- * tools that only need reductions (ldstmix, inscount,
- * branchprofile, BBV accumulation) consume O(1) (or O(touched
- * blocks)) per chunk instead of walking the block array.  The
+ * Chunk-grained aggregates: the batch carries whole-chunk totals —
+ * the summed InstrMix, fp-instruction count, branch outcome totals
+ * and per-static-block instruction sums — so tools that only need
+ * reductions (ldstmix, inscount, branchprofile, BBV accumulation)
+ * consume O(1) (or O(touched blocks)) per chunk instead of walking
+ * the block array.  They are computed lazily by a single
+ * finalizeAggregates() pass over the filled SoA arrays (vectorized —
+ * see isa/accumulate.hh; push() itself stays lean for the
+ * generation inner loop) and cached until the next push/clear.  The
  * aggregates are pure integer sums of the same per-block fields, so
  * consuming them is observationally identical to the per-block
- * reduction in stream order.
+ * reduction in stream order.  In the parallel generation pipeline
+ * the producing worker finalizes before handing the batch over, so
+ * consumers only ever read.
  */
 class EventBatch
 {
@@ -91,6 +96,8 @@ class EventBatch
         accUsed = 0;
         branchRecs.clear();
         branchFlag.clear();
+        takenFlag.clear();
+        dataDepFlag.clear();
         totalInstrs = 0;
         aggMix = InstrMix();
         aggFp = 0;
@@ -102,6 +109,7 @@ class EventBatch
         for (u32 b : touchedIds)
             blockSums[b] = 0;
         touchedIds.clear();
+        aggValid = true; // an empty batch's aggregates are all zero
     }
 
     /**
@@ -132,28 +140,30 @@ class EventBatch
         accOff.push_back(accUsed);
         branchRecs.push_back(hasBranch ? br : BranchRecord{});
         branchFlag.push_back(hasBranch ? 1 : 0);
-        totalInstrs += rec.instrs;
-
-        aggMix += rec.mix;
-        aggFp += rec.fpInstrs;
-        if (hasBranch) {
-            ++aggBranches;
-            aggTaken += br.taken ? 1 : 0;
-            aggDataDep += br.dataDependent ? 1 : 0;
-        }
-        if (rec.bb >= blockSums.size())
-            blockSums.resize(rec.bb + 1, 0);
-        u64 &sum = blockSums[rec.bb];
-        if (sum == 0)
-            touchedIds.push_back(rec.bb);
-        sum += rec.instrs;
+        takenFlag.push_back(hasBranch && br.taken ? 1 : 0);
+        dataDepFlag.push_back(hasBranch && br.dataDependent ? 1 : 0);
+        aggValid = false;
     }
+
+    /**
+     * Compute the chunk-grained aggregates from the filled arrays
+     * (no-op if already current).  Called implicitly by the
+     * aggregate accessors; the generation pipeline calls it
+     * explicitly on the producing worker so the finalize pass
+     * parallelizes with generation and consumers only read.
+     */
+    void finalizeAggregates() const;
 
     std::size_t numBlocks() const { return blockRecs.size(); }
     bool empty() const { return blockRecs.empty(); }
 
     /** Total instructions across the batch. */
-    ICount instrs() const { return totalInstrs; }
+    ICount
+    instrs() const
+    {
+        finalizeAggregates();
+        return totalInstrs;
+    }
 
     /// @name Per-block element access (the onBlock-compatible view)
     /// @{
@@ -208,27 +218,66 @@ class EventBatch
     /// @name Chunk-grained aggregates (see class comment)
     /// @{
     /** Summed InstrMix of every block in the batch. */
-    const InstrMix &mixTotal() const { return aggMix; }
+    const InstrMix &
+    mixTotal() const
+    {
+        finalizeAggregates();
+        return aggMix;
+    }
     /** Summed fp-instruction count. */
-    ICount fpTotal() const { return aggFp; }
+    ICount
+    fpTotal() const
+    {
+        finalizeAggregates();
+        return aggFp;
+    }
     /** Terminating branches in the batch. */
-    u64 branchTotal() const { return aggBranches; }
+    u64
+    branchTotal() const
+    {
+        finalizeAggregates();
+        return aggBranches;
+    }
     /** ... of which taken. */
-    u64 takenTotal() const { return aggTaken; }
+    u64
+    takenTotal() const
+    {
+        finalizeAggregates();
+        return aggTaken;
+    }
     /** ... of which data-dependent (hard to predict). */
-    u64 dataDependentTotal() const { return aggDataDep; }
+    u64
+    dataDependentTotal() const
+    {
+        finalizeAggregates();
+        return aggDataDep;
+    }
     /**
      * Static blocks executed at least once in this batch, in
      * first-touch (stream) order.  blockInstrSum() of every other
      * block is zero.
      */
-    const std::vector<u32> &touchedBlocks() const
+    const std::vector<u32> &
+    touchedBlocks() const
     {
+        finalizeAggregates();
         return touchedIds;
     }
     /** Total instructions block @p bb contributed to this batch. */
-    u64 blockInstrSum(u32 bb) const { return blockSums[bb]; }
+    u64
+    blockInstrSum(u32 bb) const
+    {
+        finalizeAggregates();
+        return blockSums[bb];
+    }
     /// @}
+
+    /**
+     * Bytes currently reserved by every internal array (the arena
+     * high-water footprint); feeds the genpipe.peak_arena_bytes
+     * gauge.
+     */
+    std::size_t capacityBytes() const;
 
   private:
     std::vector<BlockRecord> blockRecs;
@@ -237,18 +286,25 @@ class EventBatch
     u32 accUsed = 0;
     std::vector<BranchRecord> branchRecs;
     std::vector<u8> branchFlag;
-    ICount totalInstrs = 0;
+    std::vector<u8> takenFlag;
+    std::vector<u8> dataDepFlag;
 
-    InstrMix aggMix;
-    ICount aggFp = 0;
-    u64 aggBranches = 0;
-    u64 aggTaken = 0;
-    u64 aggDataDep = 0;
+    // Aggregates: computed by finalizeAggregates() from the arrays
+    // above, cached until the next push/clear.  Mutable so the const
+    // accessors can finalize lazily; only ever touched by the single
+    // thread that owns the batch at that point in the pipeline.
+    mutable bool aggValid = true;
+    mutable ICount totalInstrs = 0;
+    mutable InstrMix aggMix;
+    mutable ICount aggFp = 0;
+    mutable u64 aggBranches = 0;
+    mutable u64 aggTaken = 0;
+    mutable u64 aggDataDep = 0;
     /** blockSums[bb] = instructions of static block bb in this
      *  batch; dense, grown to the highest BlockId seen, reset via
      *  the touched list. */
-    std::vector<u64> blockSums;
-    std::vector<u32> touchedIds;
+    mutable std::vector<u64> blockSums;
+    mutable std::vector<u32> touchedIds;
 };
 
 } // namespace splab

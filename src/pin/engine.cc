@@ -1,11 +1,59 @@
 #include "engine.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
 #include "obs/counters.hh"
 #include "obs/trace.hh"
+#include "support/env.hh"
 #include "support/logging.hh"
+#include "support/thread_pool.hh"
 
 namespace splab
 {
+
+namespace
+{
+
+/** Below this many chunks the per-producer GenContext construction
+ *  outweighs the overlap; run serial. */
+constexpr u64 kMinPipelineChunks = 4;
+
+/** Shared state of one pipelined run.  The mutex orders every slot
+ *  handoff, so a consumer that observed ready == true reads batch
+ *  contents the producer wrote before publishing (and vice versa for
+ *  slot reuse). */
+struct PipeState
+{
+    std::mutex mtx;
+    std::condition_variable slotFree;  ///< producers: window advanced
+    std::condition_variable slotReady; ///< consumer: a batch landed
+    std::atomic<u64> nextChunk{0};     ///< producer claim counter
+    u64 delivered = 0;                 ///< chunks handed to tools
+    bool aborted = false;              ///< a role threw; all bail out
+    u64 producerStalls = 0;            ///< blocking episodes, summed
+    u64 consumerStalls = 0;
+};
+
+/** One reorder-window slot: a reusable arena plus its full/empty
+ *  flag (guarded by PipeState::mtx). */
+struct PipeSlot
+{
+    EventBatch batch;
+    bool ready = false;
+};
+
+bool
+shouldPipeline(u64 numChunks)
+{
+    return genPipelineEnabled() && parallelThreads() > 1 &&
+           !parallelRegionActive() && numChunks >= kMinPipelineChunks;
+}
+
+} // namespace
 
 void
 Engine::attach(PinTool *tool)
@@ -40,7 +88,10 @@ Engine::run(SyntheticWorkload &workload, u64 firstChunk, u64 numChunks)
         t->onRunStart(workload);
 
     ICount before = icount;
-    workload.run(firstChunk, numChunks, *this, needAddresses);
+    if (shouldPipeline(numChunks))
+        runPipelined(workload, firstChunk, numChunks, needAddresses);
+    else
+        workload.run(firstChunk, numChunks, *this, needAddresses);
 
     for (PinTool *t : tools)
         t->onRunEnd();
@@ -49,6 +100,152 @@ Engine::run(SyntheticWorkload &workload, u64 firstChunk, u64 numChunks)
     chunks.add(numChunks);
     instrs.add(icount - before);
     return icount - before;
+}
+
+void
+Engine::runPipelined(SyntheticWorkload &workload, u64 firstChunk,
+                     u64 numChunks, bool needAddresses)
+{
+    obs::TraceSpan span("engine.pipeline");
+
+    const std::size_t producers = parallelThreads() - 1;
+    const u64 window = std::min<u64>(
+        std::max<u64>(2 * producers, 4), numChunks);
+
+    PipeState st;
+    std::vector<PipeSlot> ring(static_cast<std::size_t>(window));
+
+    auto produce = [&] {
+        // Each producer owns private PhaseModel replicas, built on
+        // its own thread so construction overlaps too.
+        GenContext ctx(workload);
+        for (;;) {
+            u64 c = st.nextChunk.fetch_add(
+                1, std::memory_order_relaxed);
+            if (c >= numChunks)
+                return;
+            {
+                std::unique_lock<std::mutex> lk(st.mtx);
+                if (!st.aborted && st.delivered + window <= c) {
+                    ++st.producerStalls;
+                    st.slotFree.wait(lk, [&] {
+                        return st.aborted ||
+                               st.delivered + window > c;
+                    });
+                }
+                if (st.aborted)
+                    return;
+            }
+            PipeSlot &slot = ring[c % window];
+            try {
+                ctx.generateChunk(firstChunk + c, slot.batch,
+                                  needAddresses);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lk(st.mtx);
+                    st.aborted = true;
+                }
+                st.slotFree.notify_all();
+                st.slotReady.notify_all();
+                throw;
+            }
+            {
+                std::lock_guard<std::mutex> lk(st.mtx);
+                slot.ready = true;
+            }
+            st.slotReady.notify_one();
+        }
+    };
+
+    auto consume = [&] {
+        for (u64 c = 0; c < numChunks; ++c) {
+            PipeSlot &slot = ring[c % window];
+            {
+                std::unique_lock<std::mutex> lk(st.mtx);
+                if (!st.aborted && !slot.ready) {
+                    ++st.consumerStalls;
+                    st.slotReady.wait(lk, [&] {
+                        return st.aborted || slot.ready;
+                    });
+                }
+                if (st.aborted)
+                    return;
+            }
+            try {
+                onBatch(slot.batch);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lk(st.mtx);
+                    st.aborted = true;
+                }
+                st.slotFree.notify_all();
+                st.slotReady.notify_all();
+                throw;
+            }
+            {
+                std::lock_guard<std::mutex> lk(st.mtx);
+                slot.ready = false;
+                ++st.delivered;
+            }
+            st.slotFree.notify_all();
+        }
+    };
+
+    // Role 0 = consumer (claimed first, normally by the submitting
+    // thread), roles 1..producers = producers.  Progress never needs
+    // more than {consumer, one producer} running concurrently: a
+    // producer that fills the window blocks until the consumer
+    // drains it, and roles return only when the run is exhausted, so
+    // late-waking workers just find less to do.
+    parallelFor(producers + 1, [&](std::size_t role) {
+        if (role == 0)
+            consume();
+        else
+            produce();
+    });
+
+    SPLAB_ASSERT(st.aborted || st.delivered == numChunks,
+                 "pipeline ended with ", st.delivered, " of ",
+                 numChunks, " chunks delivered");
+
+    // Pipeline health stats are gauges, not counters: stall counts
+    // and arena footprints depend on scheduling, and the manifest
+    // contract reserves counters for scheduling-invariant totals.
+    std::size_t arenaBytes = 0;
+    for (const PipeSlot &s : ring)
+        arenaBytes += s.batch.capacityBytes();
+
+    static std::atomic<u64> runsTotal{0}, prodStallsTotal{0},
+        consStallsTotal{0}, peakArena{0};
+    runsTotal.fetch_add(1, std::memory_order_relaxed);
+    prodStallsTotal.fetch_add(st.producerStalls,
+                              std::memory_order_relaxed);
+    consStallsTotal.fetch_add(st.consumerStalls,
+                              std::memory_order_relaxed);
+    u64 prevPeak = peakArena.load(std::memory_order_relaxed);
+    while (prevPeak < arenaBytes &&
+           !peakArena.compare_exchange_weak(
+               prevPeak, arenaBytes, std::memory_order_relaxed))
+        ;
+
+    obs::gauge("genpipe.runs", "pipelined generation runs")
+        .set(runsTotal.load(std::memory_order_relaxed));
+    obs::gauge("genpipe.window",
+               "reorder window (chunks in flight) of the most "
+               "recent pipelined run")
+        .set(window);
+    obs::gauge("genpipe.producer_stalls",
+               "producer blocking episodes waiting on a free slot "
+               "(consumer-bound), cumulative")
+        .set(prodStallsTotal.load(std::memory_order_relaxed));
+    obs::gauge("genpipe.consumer_stalls",
+               "consumer blocking episodes waiting on a ready batch "
+               "(producer-bound), cumulative")
+        .set(consStallsTotal.load(std::memory_order_relaxed));
+    obs::gauge("genpipe.peak_arena_bytes",
+               "peak bytes held by in-flight batch arenas across "
+               "pipelined runs")
+        .set(peakArena.load(std::memory_order_relaxed));
 }
 
 void

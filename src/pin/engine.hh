@@ -22,6 +22,18 @@ namespace splab
  * duration of run().  Multiple run() calls against different windows
  * of the same workload are allowed (tool state carries over, exactly
  * like a Pintool observing a resumed execution).
+ *
+ * Generation pipeline: when the thread pool has workers to spare (and
+ * SPLAB_GEN_PIPELINE is not 0), run() overlaps chunk generation with
+ * tool dispatch.  Producer workers generate chunks out of order into
+ * a bounded ring of batch arenas — chunk state is a pure function of
+ * (seed, chunk index), so any worker can generate any chunk — while
+ * one consumer role delivers completed batches to the tools strictly
+ * in chunk order.  Tool-visible state is therefore identical to the
+ * serial path, byte for byte; the ring bound supplies backpressure so
+ * at most O(threads) chunks are in flight.  Runs issued from inside a
+ * parallel region (regional replays under a parallelFor) fall back to
+ * the serial path automatically.
  */
 class Engine : public EventSink
 {
@@ -59,6 +71,11 @@ class Engine : public EventSink
     void onBatch(const EventBatch &batch) override;
 
   private:
+    /** Ordered in-chunk-order delivery via the producer/consumer
+     *  pipeline; engages only when shouldPipeline() held. */
+    void runPipelined(SyntheticWorkload &workload, u64 firstChunk,
+                      u64 numChunks, bool needAddresses);
+
     std::vector<PinTool *> tools;
     ICount icount = 0;
 };

@@ -70,4 +70,16 @@ fusedPersistEnabled()
     return envLong("SPLAB_FUSED_PERSIST", 1) != 0;
 }
 
+bool
+genPipelineEnabled()
+{
+    return envLong("SPLAB_GEN_PIPELINE", 1) != 0;
+}
+
+bool
+simdKernelsEnabled()
+{
+    return envLong("SPLAB_SIMD", 1) != 0;
+}
+
 } // namespace splab

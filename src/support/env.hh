@@ -26,6 +26,17 @@
  *                    artifact cache as shared sub-blobs (see
  *                    core/artifact_graph.hh).  Default on; the
  *                    projection artifacts persist either way.
+ *  - SPLAB_GEN_PIPELINE: 0 = disable the parallel chunk-generation
+ *                    pipeline inside a single engine run (see
+ *                    pin/engine.hh); generation then runs serial on
+ *                    the calling thread.  Default on; the pipeline
+ *                    engages only when the thread pool has workers
+ *                    to spare, and results are byte-identical either
+ *                    way.
+ *  - SPLAB_SIMD    : 0 = force the scalar reference implementation
+ *                    of the batch accumulate kernels (see
+ *                    isa/accumulate.hh).  Default on; scalar and
+ *                    SIMD results are bit-identical.
  */
 
 #ifndef SPLAB_SUPPORT_ENV_HH
@@ -54,6 +65,16 @@ std::string artifactCacheDir();
 /** Whether the fused whole-run artifact is persisted to the disk
  *  cache (SPLAB_FUSED_PERSIST; default on). */
 bool fusedPersistEnabled();
+
+/** Whether the parallel chunk-generation pipeline may engage
+ *  (SPLAB_GEN_PIPELINE; default on).  Re-read per run so tests can
+ *  toggle it within one process. */
+bool genPipelineEnabled();
+
+/** Whether the SIMD batch-accumulate kernels may be used
+ *  (SPLAB_SIMD; default on).  Re-read per call so tests can toggle
+ *  it within one process. */
+bool simdKernelsEnabled();
 
 } // namespace splab
 

@@ -232,6 +232,12 @@ parallelThreads()
     return ThreadPool::global().threads();
 }
 
+bool
+parallelRegionActive()
+{
+    return inParallelRegion;
+}
+
 void
 parallelFor(std::size_t n,
             const std::function<void(std::size_t)> &fn)

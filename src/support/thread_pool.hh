@@ -101,6 +101,15 @@ class ThreadPool
 /** Pool parallelism actually in use (>=1). */
 std::size_t parallelThreads();
 
+/**
+ * True while the calling thread is inside a parallel region (a pool
+ * worker, or a submitter with a job in flight).  A parallelFor
+ * issued now would run inline and serial; producer/consumer
+ * pipelines use this to fall back to their serial paths instead of
+ * deadlocking on roles that would never run concurrently.
+ */
+bool parallelRegionActive();
+
 /** Run fn(0..n-1) on the global pool (see ThreadPool::forEach). */
 void parallelFor(std::size_t n,
                  const std::function<void(std::size_t)> &fn);

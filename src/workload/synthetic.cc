@@ -5,6 +5,39 @@
 namespace splab
 {
 
+namespace
+{
+
+/**
+ * Generate one chunk's events into @p batch (not cleared here).
+ * @p phase must already be positioned with beginChunk(); the fill is
+ * a pure function of that state, so the serial run() loop and the
+ * parallel GenContext produce identical bytes for the same chunk.
+ */
+void
+fillChunk(PhaseModel &phase, ICount chunkLen, EventBatch &batch,
+          bool genAddresses)
+{
+    BlockRecord rec;
+    BranchRecord br;
+    ICount budget = chunkLen;
+    while (budget > 0) {
+        const StaticBlock &blk = phase.pickBlock();
+        MemAccess *accBuf =
+            batch.reserveAccs(PhaseModel::kMaxAccessesPerBlock);
+        std::size_t nAccs = 0;
+        bool hasBranch = false;
+        phase.emit(blk, static_cast<u32>(budget), genAddresses, rec,
+                   accBuf, nAccs, br, hasBranch);
+        SPLAB_ASSERT(rec.instrs > 0 && rec.instrs <= budget,
+                     "chunk budget violation");
+        budget -= rec.instrs;
+        batch.push(rec, nAccs, br, hasBranch);
+    }
+}
+
+} // namespace
+
 SyntheticWorkload::SyntheticWorkload(BenchmarkSpec spec)
     : benchSpec(std::move(spec))
 {
@@ -19,6 +52,7 @@ SyntheticWorkload::SyntheticWorkload(BenchmarkSpec spec)
     std::vector<double> weights;
     for (u32 p = 0; p < benchSpec.phases.size(); ++p) {
         const PhaseSpec &ps = benchSpec.phases[p];
+        phaseLayouts.push_back({idCursor, pcCursor, dataCursor});
         auto model = std::make_unique<PhaseModel>(
             ps, benchSpec.seed, p, idCursor, pcCursor, dataCursor);
         idCursor += ps.numBlocks;
@@ -59,8 +93,8 @@ SyntheticWorkload::run(u64 firstChunk, u64 numChunks, EventSink &sink,
                  firstChunk + numChunks, ") beyond run of ",
                  benchSpec.totalChunks, " chunks");
 
-    // Scan the segment table forward instead of binary-searching
-    // every chunk.
+    // Binary-search the owning segment once, then scan forward as
+    // consecutive chunks walk the segment table.
     const auto &segs = phaseSchedule->segments();
     std::size_t seg = 0;
     {
@@ -75,8 +109,6 @@ SyntheticWorkload::run(u64 firstChunk, u64 numChunks, EventSink &sink,
         seg = lo;
     }
 
-    BlockRecord rec;
-    BranchRecord br;
     EventBatch &batch = batchArena;
 
     for (u64 chunk = firstChunk; chunk < firstChunk + numChunks;
@@ -91,22 +123,39 @@ SyntheticWorkload::run(u64 firstChunk, u64 numChunks, EventSink &sink,
         // sink call; the accesses of each block are emitted straight
         // into the batch's flattened pool.
         batch.clear();
-        ICount budget = benchSpec.chunkLen;
-        while (budget > 0) {
-            const StaticBlock &blk = phase.pickBlock();
-            MemAccess *accBuf =
-                batch.reserveAccs(PhaseModel::kMaxAccessesPerBlock);
-            std::size_t nAccs = 0;
-            bool hasBranch = false;
-            phase.emit(blk, static_cast<u32>(budget), genAddresses,
-                       rec, accBuf, nAccs, br, hasBranch);
-            SPLAB_ASSERT(rec.instrs > 0 && rec.instrs <= budget,
-                         "chunk budget violation");
-            budget -= rec.instrs;
-            batch.push(rec, nAccs, br, hasBranch);
-        }
+        fillChunk(phase, benchSpec.chunkLen, batch, genAddresses);
         sink.onBatch(batch);
     }
+}
+
+GenContext::GenContext(const SyntheticWorkload &workload)
+    : wl(workload)
+{
+    const BenchmarkSpec &spec = wl.benchSpec;
+    models.reserve(spec.phases.size());
+    for (u32 p = 0; p < spec.phases.size(); ++p) {
+        const SyntheticWorkload::PhaseLayout &lay = wl.phaseLayouts[p];
+        models.push_back(std::make_unique<PhaseModel>(
+            spec.phases[p], spec.seed, p, lay.idBase, lay.pcBase,
+            lay.dataBase));
+    }
+}
+
+void
+GenContext::generateChunk(u64 chunk, EventBatch &batch,
+                          bool genAddresses)
+{
+    SPLAB_ASSERT(chunk < wl.benchSpec.totalChunks,
+                 wl.benchSpec.name, ": chunk ", chunk,
+                 " beyond run of ", wl.benchSpec.totalChunks);
+    // Each chunk resolves its own segment from scratch (a pure
+    // binary search over the shared, immutable schedule) — there is
+    // no forward-scan cursor to share between parallel workers.
+    PhaseModel &phase = *models[wl.phaseSchedule->phaseOf(chunk)];
+    phase.beginChunk(chunk);
+    batch.clear();
+    fillChunk(phase, wl.benchSpec.chunkLen, batch, genAddresses);
+    batch.finalizeAggregates();
 }
 
 } // namespace splab

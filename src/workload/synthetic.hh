@@ -104,14 +104,59 @@ class SyntheticWorkload
              bool genAddresses = true);
 
   private:
+    friend class GenContext;
+
+    /** Construction bases of one phase, kept so GenContext can
+     *  build byte-identical PhaseModel replicas. */
+    struct PhaseLayout
+    {
+        BlockId idBase = 0;
+        Addr pcBase = 0;
+        Addr dataBase = 0;
+    };
+
     BenchmarkSpec benchSpec;
     std::vector<std::unique_ptr<PhaseModel>> phaseModels;
+    std::vector<PhaseLayout> phaseLayouts;
     std::unique_ptr<PhaseSchedule> phaseSchedule;
     std::vector<StaticBlock> allBlocks;
     /** Reusable batch arena: one chunk is built here, delivered,
      *  cleared.  Lives on the workload so per-region replays reuse
      *  the high-water capacity across run() calls. */
     EventBatch batchArena;
+};
+
+/**
+ * Per-worker generation context: owns private PhaseModel replicas of
+ * a workload, so any chunk can be generated concurrently with other
+ * contexts (and with the workload's own run()) without sharing
+ * mutable phase state.
+ *
+ * The replicas are rebuilt from the same (spec, seed, layout)
+ * inputs, and chunk state is a pure function of (seed, chunk index)
+ * — the counter-based-RNG property that makes regional pinballs
+ * exact — so generateChunk(c) emits bytes identical to what a serial
+ * run() would deliver for chunk c, regardless of which chunks this
+ * context generated before.  The engine's generation pipeline keeps
+ * one context per producer worker (see pin/engine.cc).
+ */
+class GenContext
+{
+  public:
+    explicit GenContext(const SyntheticWorkload &workload);
+
+    /**
+     * Generate chunk @p chunk into @p batch (cleared first) and
+     * finalize its aggregates.  Resolves the owning schedule segment
+     * from scratch — parallel chunks have no forward-scan state to
+     * share.
+     */
+    void generateChunk(u64 chunk, EventBatch &batch,
+                       bool genAddresses);
+
+  private:
+    const SyntheticWorkload &wl;
+    std::vector<std::unique_ptr<PhaseModel>> models;
 };
 
 } // namespace splab

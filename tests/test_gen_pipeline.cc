@@ -1,0 +1,406 @@
+/**
+ * @file
+ * The parallel chunk-generation pipeline and the SIMD accumulate
+ * kernels: both are pure performance changes, so every test here is
+ * an equality test — pipeline on vs off, thread count vs thread
+ * count, SIMD vs scalar — on the exact bytes tools observe.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+
+#include "core/runs.hh"
+#include "isa/accumulate.hh"
+#include "isa/events.hh"
+#include "obs/counters.hh"
+#include "pin/engine.hh"
+#include "support/serialize.hh"
+#include "support/thread_pool.hh"
+#include "workload/synthetic.hh"
+
+namespace splab
+{
+namespace
+{
+
+BenchmarkSpec
+pipeSpec(u64 chunks = 400)
+{
+    BenchmarkSpec spec;
+    spec.name = "genpipe-test";
+    spec.seed = 1234;
+    spec.totalChunks = chunks;
+    spec.chunkLen = 1000;
+    PhaseSpec a;
+    a.weight = 0.6;
+    a.kernel = KernelKind::Stream;
+    a.workingSetBytes = 4 << 20;
+    PhaseSpec b;
+    b.weight = 0.4;
+    b.kernel = KernelKind::PointerChase;
+    b.workingSetBytes = 1 << 20;
+    spec.phases = {a, b};
+    spec.schedule = ScheduleKind::Interleaved;
+    spec.dwellChunks = 25;
+    return spec;
+}
+
+/** Serialize a batch's full event content plus its aggregates. */
+void
+putBatch(ByteWriter &w, const EventBatch &batch)
+{
+    w.put<u64>(batch.numBlocks());
+    for (std::size_t i = 0; i < batch.numBlocks(); ++i) {
+        const BlockRecord &rec = batch.block(i);
+        w.put<u32>(rec.bb);
+        w.put<u64>(rec.pc);
+        w.put<u32>(rec.instrs);
+        for (ICount c : rec.mix.count)
+            w.put<u64>(c);
+        w.put<u32>(rec.fpInstrs);
+        w.put<u8>(rec.endsInBranch ? 1 : 0);
+        w.put<u64>(batch.accCount(i));
+        const MemAccess *accs = batch.accs(i);
+        for (std::size_t k = 0; k < batch.accCount(i); ++k) {
+            w.put<u64>(accs[k].addr);
+            w.put<u8>(accs[k].size);
+            w.put<u8>(accs[k].isWrite ? 1 : 0);
+        }
+        const BranchRecord *br = batch.branch(i);
+        w.put<u8>(br ? 1 : 0);
+        if (br) {
+            w.put<u64>(br->pc);
+            w.put<u8>(br->taken ? 1 : 0);
+            w.put<u8>(br->dataDependent ? 1 : 0);
+        }
+    }
+    // Aggregates, exactly as chunk-grained tools consume them.
+    w.put<u64>(batch.instrs());
+    for (ICount c : batch.mixTotal().count)
+        w.put<u64>(c);
+    w.put<u64>(batch.fpTotal());
+    w.put<u64>(batch.branchTotal());
+    w.put<u64>(batch.takenTotal());
+    w.put<u64>(batch.dataDependentTotal());
+    w.put<u64>(batch.touchedBlocks().size());
+    for (u32 bb : batch.touchedBlocks()) {
+        w.put<u32>(bb);
+        w.put<u64>(batch.blockInstrSum(bb));
+    }
+}
+
+/** EventSink capturing each delivered chunk as comparable bytes. */
+class ChunkCapture : public EventSink
+{
+  public:
+    void
+    onBlock(const BlockRecord &, const MemAccess *, std::size_t,
+            const BranchRecord *) override
+    {
+        FAIL() << "batched delivery expected";
+    }
+
+    void
+    onBatch(const EventBatch &batch) override
+    {
+        ByteWriter w;
+        putBatch(w, batch);
+        chunks.push_back(w.bytes());
+    }
+
+    std::vector<std::vector<u8>> chunks;
+};
+
+TEST(GenPipeline, GenContextMatchesSerialRunAnyOrder)
+{
+    // A GenContext must emit, for any chunk in any generation order,
+    // the identical bytes the serial forward run() delivers — the
+    // property that lets producers generate out of order.
+    BenchmarkSpec spec = pipeSpec(120);
+    SyntheticWorkload serial(spec);
+    ChunkCapture capture;
+    serial.run(0, spec.totalChunks, capture, true);
+    ASSERT_EQ(capture.chunks.size(), spec.totalChunks);
+
+    SyntheticWorkload parallel(spec);
+    GenContext ctx(parallel);
+    EventBatch batch;
+    // Adversarial order: back to front, so every chunk is generated
+    // with "wrong" predecessor state if any state leaked.
+    for (u64 c = spec.totalChunks; c-- > 0;) {
+        ctx.generateChunk(c, batch, true);
+        ByteWriter w;
+        putBatch(w, batch);
+        EXPECT_EQ(w.bytes(), capture.chunks[c]) << "chunk " << c;
+    }
+}
+
+/** Fused whole-run results as comparable bytes (wall time excluded,
+ *  BBVs included). */
+std::vector<u8>
+fusedBytes(const FusedWholeResult &r)
+{
+    ByteWriter w;
+    w.put<u64>(r.cache.instrs);
+    for (double f : r.cache.mixFrac)
+        w.put<double>(f);
+    for (const LevelCounts *lc :
+         {&r.cache.l1i, &r.cache.l1d, &r.cache.l2, &r.cache.l3}) {
+        w.put<u64>(lc->accesses);
+        w.put<u64>(lc->misses);
+    }
+    w.put<u64>(r.cache.branches);
+    w.put<u64>(r.timing.instrs);
+    w.put<double>(r.timing.cycles);
+    w.put<u64>(r.timing.branches);
+    w.put<u64>(r.timing.mispredicts);
+    w.put<u64>(r.timing.l2Hits);
+    w.put<u64>(r.timing.l3Hits);
+    w.put<u64>(r.timing.memAccesses);
+    w.put<u64>(r.bbvs.size());
+    for (const FrequencyVector &fv : r.bbvs) {
+        w.put<u64>(fv.entries.size());
+        for (const BbvEntry &e : fv.entries) {
+            w.put<u32>(e.block);
+            w.put<float>(e.weight);
+        }
+    }
+    return w.bytes();
+}
+
+/** RAII env toggle restoring the variable on scope exit. */
+class EnvGuard
+{
+  public:
+    EnvGuard(const char *n, const char *v) : name(n)
+    {
+        const char *old = std::getenv(n);
+        had = old != nullptr;
+        if (had)
+            saved = old;
+        setenv(n, v, 1);
+    }
+    ~EnvGuard()
+    {
+        if (had)
+            setenv(name, saved.c_str(), 1);
+        else
+            unsetenv(name);
+    }
+
+  private:
+    const char *name;
+    bool had = false;
+    std::string saved;
+};
+
+TEST(GenPipeline, PipelineOffOnByteEquality)
+{
+    // The pipeline is a pure scheduling change: with the pool sized
+    // so it engages, SPLAB_GEN_PIPELINE=0 and =1 must produce
+    // byte-identical cache, timing and BBV results.
+    BenchmarkSpec spec = pipeSpec(300);
+    HierarchyConfig caches = tableIConfig();
+    MachineConfig machine = tableIIIMachine();
+    const ICount slice = 5 * spec.chunkLen;
+
+    ThreadPool::setGlobalThreads(4);
+    std::vector<u8> off, on;
+    {
+        EnvGuard g("SPLAB_GEN_PIPELINE", "0");
+        off = fusedBytes(measureWholeFused(spec, caches, machine,
+                                           slice));
+    }
+    {
+        EnvGuard g("SPLAB_GEN_PIPELINE", "1");
+        on = fusedBytes(measureWholeFused(spec, caches, machine,
+                                          slice));
+    }
+    ThreadPool::setGlobalThreads(0);
+    ASSERT_FALSE(off.empty());
+    EXPECT_EQ(off, on);
+}
+
+TEST(GenPipeline, ThreadCountInvariantWithPipelineForcedOn)
+{
+    // With the pipeline explicitly enabled, the fused pass must stay
+    // byte-identical across SPLAB_THREADS = 1 (serial fallback), 2
+    // (one producer) and 8 (many producers racing the window).
+    BenchmarkSpec spec = pipeSpec(250);
+    HierarchyConfig caches = tableIConfig();
+    MachineConfig machine = tableIIIMachine();
+    EnvGuard g("SPLAB_GEN_PIPELINE", "1");
+
+    std::vector<std::vector<u8>> blobs;
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        ThreadPool::setGlobalThreads(threads);
+        blobs.push_back(fusedBytes(
+            measureWholeFused(spec, caches, machine,
+                              6 * spec.chunkLen)));
+    }
+    ThreadPool::setGlobalThreads(0);
+    ASSERT_FALSE(blobs[0].empty());
+    EXPECT_EQ(blobs[0], blobs[1]);
+    EXPECT_EQ(blobs[0], blobs[2]);
+}
+
+TEST(GenPipeline, SliverSliceBoundaryUnderReorderedCompletion)
+{
+    // The end-of-run sliver slice must come out identical when
+    // chunks complete out of order in the pipeline: 101 chunks of
+    // 1000 instrs in 2000-instr slices -> 50 full slices plus an
+    // exactly-half-full sliver, which the BBV tool keeps (it drops
+    // slivers under half).  The sliver's chunk is the last one
+    // generated but may be far from the last one *completed*.
+    BenchmarkSpec spec = pipeSpec(101);
+    HierarchyConfig caches = tableIConfig();
+    MachineConfig machine = tableIIIMachine();
+    const ICount slice = 2 * spec.chunkLen;
+
+    ThreadPool::setGlobalThreads(8);
+    std::vector<u8> off, on;
+    std::size_t nSlices = 0;
+    {
+        EnvGuard g("SPLAB_GEN_PIPELINE", "0");
+        FusedWholeResult r =
+            measureWholeFused(spec, caches, machine, slice);
+        nSlices = r.bbvs.size();
+        off = fusedBytes(r);
+    }
+    {
+        EnvGuard g("SPLAB_GEN_PIPELINE", "1");
+        on = fusedBytes(measureWholeFused(spec, caches, machine,
+                                          slice));
+    }
+    ThreadPool::setGlobalThreads(0);
+    EXPECT_EQ(nSlices, 51u) << "50 full slices + kept sliver";
+    EXPECT_EQ(off, on);
+}
+
+TEST(GenPipeline, GaugesRecordPipelineHealth)
+{
+    // A pipelined run must leave the genpipe gauges populated (they
+    // are gauges, not counters: stall counts depend on scheduling
+    // and may not perturb the deterministic manifest section).
+    BenchmarkSpec spec = pipeSpec(60);
+    EnvGuard g("SPLAB_GEN_PIPELINE", "1");
+    ThreadPool::setGlobalThreads(4);
+    SyntheticWorkload wl(spec);
+    Engine engine; // no tools: generation + ordered delivery only
+    engine.runWhole(wl);
+    ThreadPool::setGlobalThreads(0);
+
+    auto gauges = obs::gaugeSnapshot();
+    ASSERT_TRUE(gauges.count("genpipe.runs"));
+    EXPECT_GE(gauges["genpipe.runs"], 1u);
+    ASSERT_TRUE(gauges.count("genpipe.window"));
+    EXPECT_GE(gauges["genpipe.window"], 4u);
+    ASSERT_TRUE(gauges.count("genpipe.peak_arena_bytes"));
+    EXPECT_GT(gauges["genpipe.peak_arena_bytes"], 0u);
+    EXPECT_TRUE(gauges.count("genpipe.producer_stalls"));
+    EXPECT_TRUE(gauges.count("genpipe.consumer_stalls"));
+}
+
+/** Random event arrays shaped like a generated chunk. */
+struct RandomBatchArrays
+{
+    std::vector<BlockRecord> recs;
+    std::vector<u8> valid, taken, dataDep;
+};
+
+RandomBatchArrays
+randomArrays(std::size_t n, u64 seed)
+{
+    RandomBatchArrays a;
+    std::mt19937_64 rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        BlockRecord r;
+        r.bb = static_cast<u32>(rng() % 500);
+        r.pc = rng();
+        r.instrs = 1 + static_cast<u32>(rng() % 40);
+        for (std::size_t m = 0; m < r.mix.count.size(); ++m)
+            r.mix.count[m] = rng() % 17;
+        r.fpInstrs = static_cast<u32>(rng() % 9);
+        bool hasBr = (rng() & 1) != 0;
+        r.endsInBranch = hasBr;
+        a.recs.push_back(r);
+        a.valid.push_back(hasBr ? 1 : 0);
+        a.taken.push_back(hasBr && (rng() & 1) ? 1 : 0);
+        a.dataDep.push_back(hasBr && (rng() & 1) ? 1 : 0);
+    }
+    return a;
+}
+
+TEST(SimdAccumulate, MatchesScalarAtEveryLength)
+{
+    // Vector widths, tails, empty input: the SIMD kernels must be
+    // bit-equal to the scalar reference at every length.
+    for (std::size_t n : {0u, 1u, 2u, 7u, 15u, 16u, 17u, 333u, 4096u}) {
+        RandomBatchArrays a = randomArrays(n, 77 + n);
+        BatchAggregates s = accumulateScalar(
+            a.recs.data(), n, a.valid.data(), a.taken.data(),
+            a.dataDep.data());
+        BatchAggregates v = accumulateSimd(
+            a.recs.data(), n, a.valid.data(), a.taken.data(),
+            a.dataDep.data());
+        EXPECT_TRUE(s == v) << "n=" << n;
+        EXPECT_EQ(sumBytesScalar(a.valid.data(), n),
+                  sumBytesSimd(a.valid.data(), n))
+            << "n=" << n;
+    }
+}
+
+TEST(SimdAccumulate, EnvForcesScalarPath)
+{
+    RandomBatchArrays a = randomArrays(1000, 5);
+    BatchAggregates ref = accumulateScalar(
+        a.recs.data(), a.recs.size(), a.valid.data(),
+        a.taken.data(), a.dataDep.data());
+    EnvGuard g("SPLAB_SIMD", "0");
+    EXPECT_FALSE(simdAccumulateEnabled());
+    BatchAggregates got = accumulateBatch(
+        a.recs.data(), a.recs.size(), a.valid.data(),
+        a.taken.data(), a.dataDep.data());
+    EXPECT_TRUE(ref == got);
+}
+
+TEST(SimdAccumulate, BatchAggregatesMatchPerBlockReduction)
+{
+    // End to end through EventBatch: lazy finalized aggregates ==
+    // a straightforward per-block reduction over the same batch,
+    // including after a clear()-refill reuse cycle.
+    BenchmarkSpec spec = pipeSpec(40);
+    SyntheticWorkload wl(spec);
+    GenContext ctx(wl);
+    EventBatch batch;
+    for (u64 c : {0ull, 17ull, 39ull}) {
+        ctx.generateChunk(c, batch, true);
+        ICount instrs = 0, fp = 0;
+        u64 branches = 0, takenN = 0, dataDepN = 0;
+        InstrMix mix;
+        for (std::size_t i = 0; i < batch.numBlocks(); ++i) {
+            const BlockRecord &rec = batch.block(i);
+            instrs += rec.instrs;
+            fp += rec.fpInstrs;
+            for (std::size_t m = 0; m < mix.count.size(); ++m)
+                mix.count[m] += rec.mix.count[m];
+            if (const BranchRecord *br = batch.branch(i)) {
+                ++branches;
+                takenN += br->taken ? 1 : 0;
+                dataDepN += br->dataDependent ? 1 : 0;
+            }
+        }
+        EXPECT_EQ(batch.instrs(), instrs) << "chunk " << c;
+        EXPECT_EQ(batch.fpTotal(), fp);
+        EXPECT_EQ(batch.branchTotal(), branches);
+        EXPECT_EQ(batch.takenTotal(), takenN);
+        EXPECT_EQ(batch.dataDependentTotal(), dataDepN);
+        for (std::size_t m = 0; m < mix.count.size(); ++m)
+            EXPECT_EQ(batch.mixTotal().count[m], mix.count[m]);
+    }
+}
+
+} // namespace
+} // namespace splab
