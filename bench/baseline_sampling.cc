@@ -11,7 +11,7 @@
  */
 
 #include "bench_util.hh"
-#include "simpoint/baselines.hh"
+#include "sampling/strategy.hh"
 #include "support/stats_util.hh"
 
 using namespace splab;
@@ -50,11 +50,24 @@ main(int, char **argv)
         const SimPointResult &sp = graph.simpoints(e.name);
         u32 budget = static_cast<u32>(sp.points.size());
 
+        // The oblivious baselines come from the strategy registry at
+        // the SimPoint budget; SimPointResult views keep the
+        // measurement helpers unchanged.
+        SamplingConfig sampCfg;
+        sampCfg.stride.n = budget;
+        sampCfg.random.n = budget;
+        sampCfg.random.seed = spec.seed;
+        StrategyInputs in{nullptr, sp.totalSlices, sp.sliceInstrs};
         SimPointResult strategies[3] = {
             sp,
-            systematicSample(sp.totalSlices, sp.sliceInstrs, budget),
-            randomSample(sp.totalSlices, sp.sliceInstrs, budget,
-                         spec.seed),
+            simPointsFromRegions(
+                makeStrategy("stride", sampCfg,
+                             graph.config().simpoint)
+                    ->select(in)),
+            simPointsFromRegions(
+                makeStrategy("random", sampCfg,
+                             graph.config().simpoint)
+                    ->select(in)),
         };
 
         for (int s = 0; s < 3; ++s) {

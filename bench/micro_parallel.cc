@@ -16,6 +16,7 @@
 #include "bench_util.hh"
 #include "core/pipeline.hh"
 #include "core/runs.hh"
+#include "sampling/strategies.hh"
 #include "support/thread_pool.hh"
 #include "workload/suite.hh"
 
@@ -99,19 +100,20 @@ main(int, char **argv)
         StageResult r;
         r.stage = "bic-k-sweep";
         std::vector<u8> serialBytes, parallelBytes;
+        SimpointStrategy strat(cfg);
         ThreadPool::setGlobalThreads(1);
         r.serialSec = bestOf(2, [&] {
-            serialBytes = simpointBytes(pickSimPoints(bbvs, cfg));
+            serialBytes = simpointBytes(strat.pick(bbvs));
         });
         ThreadPool::setGlobalThreads(0);
         r.parallelSec = bestOf(2, [&] {
-            parallelBytes = simpointBytes(pickSimPoints(bbvs, cfg));
+            parallelBytes = simpointBytes(strat.pick(bbvs));
         });
         r.identical = serialBytes == parallelBytes;
         results.push_back(r);
     }
 
-    SimPointResult sp = pickSimPoints(bbvs, cfg);
+    SimPointResult sp = SimpointStrategy(cfg).pick(bbvs);
 
     // Stage 2: per-simulation-point cache replays (cold caches).
     {

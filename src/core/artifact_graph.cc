@@ -8,6 +8,7 @@
 #include "obs/counters.hh"
 #include "obs/trace.hh"
 #include "pinball/logger.hh"
+#include "sampling/strategies.hh"
 #include "support/env.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
@@ -64,6 +65,15 @@ kindInfo(ArtifactKind k)
          false, false, {ArtifactKind::Spec}},
         {"simpoints", "graph.simpoints", 0x73696d7000000001ULL,
          true, false, {ArtifactKind::BbvProfile}},
+        // Strategy-selected regions.  Deps are {BbvProfile} even
+        // though the simpoint strategy's compute routes through the
+        // SimPoints node: the *value* is a pure function of the BBV
+        // profile plus the active strategy's knobs, which enter the
+        // key through the strategy-salted config slice
+        // (SamplingConfig::activeHash).  The blob family is
+        // per-strategy ("regions_smarts", ...) — see blobFamily().
+        {"regions", "graph.regions", 0x7267696f00000001ULL, true,
+         false, {ArtifactKind::BbvProfile}},
         // Persisted via shared sub-blobs: the fused value is the
         // byte-wise concatenation of the cache and timing views, and
         // the projection ref-blobs point at those same sub-blobs, so
@@ -83,9 +93,12 @@ kindInfo(ArtifactKind k)
          true, true, {ArtifactKind::Spec}},
         {"wholetiming", "graph.whole_timing", 0x7774696d00000003ULL,
          true, true, {ArtifactKind::Spec}},
+        // Salt bumped (..01 -> ..02) when the capture moved from the
+        // SimPoints selection to the strategy-generic Regions node
+        // (regions gained lengths and warm-up prescriptions).
         {"regionalpinball", "graph.regional_pinball",
-         0x7270696e00000001ULL, false, false,
-         {ArtifactKind::Spec, ArtifactKind::SimPoints}},
+         0x7270696e00000002ULL, false, false,
+         {ArtifactKind::Spec, ArtifactKind::Regions}},
         {"pointscold", "graph.points_cache_cold",
          0x70636f6c00000001ULL, true, false,
          {ArtifactKind::RegionalPinball}},
@@ -99,6 +112,24 @@ kindInfo(ArtifactKind k)
          {ArtifactKind::RegionalPinball}},
     }};
     return table[static_cast<u8>(k)];
+}
+
+/**
+ * Cache-blob family (and manifest key prefix) of one kind.  Regions
+ * qualifies by the active strategy ("regions_smarts", ...): each
+ * strategy is its own cached node family, so per-strategy selections
+ * coexist in one cache directory and the manifest says which
+ * strategy produced each recorded key.
+ */
+std::string
+blobFamily(ArtifactKind kind, const ExperimentConfig &cfg)
+{
+    std::string family = kindInfo(kind).name;
+    if (kind == ArtifactKind::Regions) {
+        family += '_';
+        family += strategyName(cfg.sampling.strategy);
+    }
+    return family;
 }
 
 /**
@@ -179,6 +210,11 @@ serializeArtifact(ByteWriter &w, const ArtifactValue &v)
             serializeSimPoints(w, r);
         }
         void
+        operator()(const RegionSelection &s)
+        {
+            serializeRegions(w, s);
+        }
+        void
         operator()(const FusedWholeMetrics &m)
         {
             w.put(m);
@@ -231,6 +267,8 @@ deserializeArtifact(ArtifactKind k, ByteReader &r)
       }
       case ArtifactKind::SimPoints:
         return deserializeSimPoints(r);
+      case ArtifactKind::Regions:
+        return deserializeRegions(r);
       case ArtifactKind::WholeFused:
         return r.get<FusedWholeMetrics>();
       case ArtifactKind::WholeCache:
@@ -256,6 +294,12 @@ ExperimentConfig::contentHash() const
 {
     ByteWriter w;
     w.put<u64>(simpoint.contentHash());
+    w.put<u8>(static_cast<u8>(sampling.strategy));
+    w.put<u64>(sampling.smarts.contentHash());
+    w.put<u64>(sampling.stratified.contentHash());
+    w.put<u64>(sampling.rankedSet.contentHash());
+    w.put<u64>(sampling.random.contentHash());
+    w.put<u64>(sampling.stride.contentHash());
     w.put<u64>(allcache.contentHash());
     w.put<u64>(machine.contentHash());
     w.put<u64>(warmupChunks);
@@ -279,6 +323,9 @@ ExperimentConfig::describe(obs::RunManifest &m) const
     m.setConfig("simpoint.sample_cap", simpoint.sampleCap);
     m.setConfig("simpoint.merge_threshold", simpoint.mergeThreshold);
     m.setConfig("simpoint.seed", simpoint.seed);
+    // The active strategy records "sampling.strategy" plus its own
+    // "sampling.<strategy>.<knob>" keys.
+    makeStrategy(sampling, simpoint)->describe(m);
     m.setConfig("warmup_chunks", warmupChunks);
     auto level = [&](const char *name, const CacheParams &p) {
         std::string base = std::string("allcache.") + name;
@@ -357,6 +404,11 @@ ArtifactGraph::configSliceHash(ArtifactKind kind) const
         return hashCombine(0, u64{cfg.simpoint.sliceInstrs});
       case ArtifactKind::SimPoints:
         return cfg.simpoint.contentHash();
+      case ArtifactKind::Regions:
+        // Strategy-salted slice over exactly the active strategy's
+        // knobs: switching strategies or turning an *active* knob
+        // moves the key; an inactive strategy's knob never does.
+        return cfg.sampling.activeHash(cfg.simpoint);
       case ArtifactKind::WholeFused:
         // The fused value carries both views, so its key covers
         // both config surfaces.
@@ -407,7 +459,25 @@ ArtifactGraph::computeValue(const std::string &name,
         return pipe.profileBbvs(spec(name));
       case ArtifactKind::SimPoints:
         SPLAB_VERBOSE("simpoint selection: ", name);
-        return pickSimPoints(bbvProfile(name), cfg.simpoint);
+        return SimpointStrategy(cfg.simpoint).pick(bbvProfile(name));
+      case ArtifactKind::Regions: {
+        SPLAB_VERBOSE("region selection (",
+                      strategyName(cfg.sampling.strategy),
+                      "): ", name);
+        if (cfg.sampling.strategy == StrategyKind::Simpoint) {
+            // Route through the cached SimPoints node instead of
+            // re-clustering; the value is the same pure function of
+            // the BBV profile either way (projection-node rule).
+            RegionSelection sel =
+                regionsFromSimPoints(simpoints(name));
+            accountSelection(StrategyKind::Simpoint, sel);
+            return sel;
+        }
+        const std::vector<FrequencyVector> &bbvs = bbvProfile(name);
+        StrategyInputs in{&bbvs, bbvs.size(),
+                          cfg.simpoint.sliceInstrs};
+        return makeStrategy(cfg.sampling, cfg.simpoint)->select(in);
+      }
       case ArtifactKind::WholeFused: {
         SPLAB_INFORM("fused whole-run simulation: ", name);
         FusedWholeResult r =
@@ -422,7 +492,7 @@ ArtifactGraph::computeValue(const std::string &name,
         SPLAB_VERBOSE("regional pinball capture: ", name);
         SyntheticWorkload wl(spec(name));
         Pinball whole = Logger::captureWhole(wl);
-        return Logger::makeRegional(whole, simpoints(name));
+        return Logger::makeRegional(whole, regions(name));
       }
       case ArtifactKind::PointsCacheCold:
         SPLAB_INFORM("regional cache replays (cold): ", name);
@@ -520,9 +590,10 @@ ArtifactGraph::ensure(const std::string &name, ArtifactKind kind)
                         fusedPersistEnabled());
         bool loaded = false;
         u64 key = 0;
+        std::string family = blobFamily(kind, cfg);
         if (persist && cache->enabled()) {
             key = artifactKey(name, kind);
-            CacheOutcome got = cache->load(info.name, key);
+            CacheOutcome got = cache->load(family, key);
             if (got.hit()) {
                 if (info.shared)
                     loaded = loadSharedValue(*cache, kind, *got, v);
@@ -552,9 +623,9 @@ ArtifactGraph::ensure(const std::string &name, ArtifactKind kind)
                     for (auto [off, len] : ranges)
                         ref.put<u64>(cache->storeShared(
                             raw.data() + off, len));
-                    cache->store(info.name, key, ref);
+                    cache->store(family, key, ref);
                 } else {
-                    cache->store(info.name, key, w);
+                    cache->store(family, key, w);
                 }
             }
         }
@@ -592,6 +663,13 @@ ArtifactGraph::simpoints(const std::string &name)
 {
     return std::get<SimPointResult>(
         ensure(name, ArtifactKind::SimPoints));
+}
+
+const RegionSelection &
+ArtifactGraph::regions(const std::string &name)
+{
+    return std::get<RegionSelection>(
+        ensure(name, ArtifactKind::Regions));
 }
 
 const FusedWholeMetrics &
@@ -704,9 +782,8 @@ ArtifactGraph::recordArtifacts(
         for (std::size_t k = 0; k < kNumArtifactKinds; ++k)
             if (inClosure[k]) {
                 ArtifactKind kind = static_cast<ArtifactKind>(k);
-                m.addArtifact(
-                    std::string(artifactKindName(kind)) + "/" + b,
-                    artifactKey(b, kind));
+                m.addArtifact(blobFamily(kind, cfg) + "/" + b,
+                              artifactKey(b, kind));
             }
 }
 

@@ -3,12 +3,13 @@
  * The artifact graph: the experiment core as a typed,
  * content-addressed stage DAG.
  *
- * Every figure/table bench needs some subset of eleven artifact
+ * Every figure/table bench needs some subset of twelve artifact
  * kinds per benchmark — executable spec, BBV profile, SimPoint
- * selection, fused whole-run measurement, whole-run cache metrics,
- * whole-run timing, the regional pinball, cold/warm per-point cache
- * replays, native perf counters, per-point timing replays.  Each
- * kind is a declared node with:
+ * selection, the strategy-selected region set, fused whole-run
+ * measurement, whole-run cache metrics, whole-run timing, the
+ * regional pinball, cold/warm per-point cache replays, native perf
+ * counters, per-point timing replays.  Each kind is a declared node
+ * with:
  *
  *  - typed dependencies on upstream kinds (a static DAG),
  *  - a compute function (pure given its inputs and the config),
@@ -36,7 +37,14 @@
  * identical to the dedicated single-tool passes (tools are passive
  * observers of one deterministic stream — tested), so their keys
  * keep the original narrow slices: an allcache change still leaves
- * WholeTiming's key (and cached blob) untouched.
+ * WholeTiming's key (and cached blob) untouched.  Regions is the
+ * same shape: its value depends only on the BBV profile and the
+ * active SamplingStrategy's knobs (strategy-salted via
+ * SamplingConfig::activeHash), so its deps are {BbvProfile} even
+ * though the simpoint strategy's compute routes through the cached
+ * SimPoints node.  Each strategy persists into its own blob family
+ * ("regions_simpoint", "regions_smarts", ...), so per-strategy
+ * selections coexist in one cache directory.
  *
  * Blob sharing: the fused node and both projections persist as small
  * *ref blobs* naming content-addressed shared sub-blobs (the fused
@@ -76,6 +84,7 @@
 #include "obs/manifest.hh"
 #include "pipeline.hh"
 #include "runs.hh"
+#include "sampling/strategy.hh"
 #include "scale.hh"
 #include "workload/suite.hh"
 
@@ -98,6 +107,10 @@ namespace splab
 struct ExperimentConfig
 {
     SimPointConfig simpoint;                      ///< MaxK 35, 30M-eq
+    /** Region-selection strategy axis: which SamplingStrategy picks
+     *  simulation regions, plus every strategy's knobs.  The
+     *  SimPoint strategy's knobs are the `simpoint` member above. */
+    SamplingConfig sampling;
     /** Table I hierarchy at model scale (far caches scaled with the
      *  slice length; see scaleFarCaches()). */
     HierarchyConfig allcache =
@@ -147,6 +160,27 @@ struct ExperimentConfig
         return *this;
     }
     ExperimentConfig &
+    withSampling(SamplingConfig c)
+    {
+        sampling = c;
+        return *this;
+    }
+    /** Select the region-selection strategy by registry name
+     *  ("simpoint", "smarts", "stratified", "ranked_set", "random",
+     *  "stride"); fatal on an unknown name. */
+    ExperimentConfig &
+    withStrategy(const std::string &name)
+    {
+        sampling.strategy = strategyByName(name);
+        return *this;
+    }
+    ExperimentConfig &
+    withStrategy(StrategyKind k)
+    {
+        sampling.strategy = k;
+        return *this;
+    }
+    ExperimentConfig &
     withAllcache(HierarchyConfig h)
     {
         allcache = h;
@@ -192,6 +226,7 @@ enum class ArtifactKind : u8
     Spec = 0,        ///< executable benchmark spec (source node)
     BbvProfile,      ///< one BBV per slice of the whole execution
     SimPoints,       ///< SimPoint selection (BIC-chosen k)
+    Regions,         ///< strategy-selected simulation regions
     WholeFused,      ///< one fused traversal: cache + timing views
     WholeCache,      ///< Whole Run under ldstmix + allcache
     WholeTiming,     ///< Whole Run under the timing model
@@ -202,7 +237,7 @@ enum class ArtifactKind : u8
     PointsTiming,    ///< per-point timing replays
 };
 
-constexpr std::size_t kNumArtifactKinds = 11;
+constexpr std::size_t kNumArtifactKinds = 12;
 
 /** Stable artifact-kind name ("simpoints", "points_cache_cold"). */
 const char *artifactKindName(ArtifactKind k);
@@ -227,6 +262,7 @@ using ArtifactValue =
     std::variant<BenchmarkSpec,                    // Spec
                  std::vector<FrequencyVector>,     // BbvProfile
                  SimPointResult,                   // SimPoints
+                 RegionSelection,                  // Regions
                  FusedWholeMetrics,                // WholeFused
                  CacheRunMetrics,                  // WholeCache
                  TimingRunMetrics,                 // WholeTiming
@@ -282,6 +318,10 @@ class ArtifactGraph
 
     /** SimPoint selection at the configured operating point. */
     const SimPointResult &simpoints(const std::string &name);
+
+    /** Simulation regions selected by the configured
+     *  SamplingStrategy (cfg.sampling.strategy). */
+    const RegionSelection &regions(const std::string &name);
 
     /** Both whole-run views from one fused traversal; WholeCache
      *  and WholeTiming are projections of this node. */

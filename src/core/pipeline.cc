@@ -4,6 +4,7 @@
 #include "pin/engine.hh"
 #include "pin/tools/bbv_tool.hh"
 #include "pinball/logger.hh"
+#include "sampling/strategies.hh"
 #include "support/logging.hh"
 #include "workload/synthetic.hh"
 
@@ -107,9 +108,9 @@ PinPointsPipeline::computeOrLoad(const BenchmarkSpec &spec,
     SPLAB_VERBOSE("profiling + clustering ", spec.name,
                   forcedK ? " (forced k)" : "");
     auto bbvs = profileBbvs(spec);
-    SimPointResult res =
-        forcedK == 0 ? pickSimPoints(bbvs, cfg)
-                     : pickSimPointsForcedK(bbvs, cfg, forcedK);
+    SimpointStrategy strat(cfg);
+    SimPointResult res = forcedK == 0 ? strat.pick(bbvs)
+                                      : strat.pickForcedK(bbvs, forcedK);
 
     ByteWriter w;
     serializeSimPoints(w, res);

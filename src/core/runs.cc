@@ -161,10 +161,17 @@ measurePointsCache(const Pinball &regional,
         BranchProfileTool branches;
         Engine engine;
 
-        if (warmupChunks > 0) {
+        // A strategy's per-region warm-up prescription (e.g. SMARTS
+        // wunit/allwarm) overrides the experiment-wide parameter —
+        // but only for warm runs: warmupChunks == 0 stays truly cold.
+        u64 regionWarmup = regional.regions()[i].warmupChunks;
+        u64 warm = warmupChunks > 0 && regionWarmup > 0
+                       ? regionWarmup
+                       : warmupChunks;
+        if (warm > 0) {
             cache.setWarmup(true);
             engine.attach(&cache);
-            replayer.replayWarmup(i, warmupChunks, engine);
+            replayer.replayWarmup(i, warm, engine);
             cache.setWarmup(false);
             engine.clearTools();
         }
@@ -229,9 +236,14 @@ measurePointsTiming(const Pinball &regional,
         Engine engine;
         engine.attach(&core);
 
-        if (warmupChunks > 0) {
+        // Same per-region override as measurePointsCache.
+        u64 regionWarmup = regional.regions()[i].warmupChunks;
+        u64 warm = warmupChunks > 0 && regionWarmup > 0
+                       ? regionWarmup
+                       : warmupChunks;
+        if (warm > 0) {
             core.setWarmup(true);
-            replayer.replayWarmup(i, warmupChunks, engine);
+            replayer.replayWarmup(i, warm, engine);
             core.setWarmup(false);
         }
 

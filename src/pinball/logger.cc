@@ -1,7 +1,10 @@
 #include "logger.hh"
 
+#include <algorithm>
+
 #include "obs/counters.hh"
 #include "obs/trace.hh"
+#include "sampling/strategy.hh"
 #include "support/logging.hh"
 #include "workload/synthetic.hh"
 
@@ -73,36 +76,45 @@ Logger::captureWhole(SyntheticWorkload &workload, bool verify)
 
 Pinball
 Logger::makeRegional(const Pinball &whole,
-                     const SimPointResult &simpoints)
+                     const RegionSelection &selection)
 {
     obs::TraceSpan span("logger.make_regional");
     static obs::Counter &regionsLogged =
         obs::counter("pinball.regions_logged",
                      "regions extracted into regional pinballs");
-    regionsLogged.add(simpoints.points.size());
+    regionsLogged.add(selection.regions.size());
     SPLAB_ASSERT(whole.kind() == PinballKind::Whole,
                  "regional pinballs derive from whole pinballs");
     const BenchmarkSpec &spec = whole.spec();
-    SPLAB_ASSERT(simpoints.sliceInstrs % spec.chunkLen == 0,
+    SPLAB_ASSERT(selection.sliceInstrs % spec.chunkLen == 0,
                  "slice length not chunk aligned");
-    u64 sliceChunks = simpoints.sliceInstrs / spec.chunkLen;
+    u64 sliceChunks = selection.sliceInstrs / spec.chunkLen;
 
     std::vector<RegionDesc> regions;
-    regions.reserve(simpoints.points.size());
-    for (const auto &sp : simpoints.points) {
+    regions.reserve(selection.regions.size());
+    for (const Region &sr : selection.regions) {
         RegionDesc r;
-        r.firstChunk = sp.slice * sliceChunks;
-        r.numChunks = sliceChunks;
+        r.firstChunk = sr.startSlice * sliceChunks;
+        r.numChunks = sr.lengthSlices * sliceChunks;
         if (r.firstChunk >= spec.totalChunks)
-            SPLAB_PANIC("simulation point beyond the captured run");
+            SPLAB_PANIC("simulation region beyond the captured run");
         if (r.firstChunk + r.numChunks > spec.totalChunks)
             r.numChunks = spec.totalChunks - r.firstChunk;
-        r.weight = sp.weight;
-        r.cluster = sp.cluster;
-        r.slice = sp.slice;
+        r.weight = sr.weight;
+        r.cluster = sr.cluster;
+        r.slice = sr.startSlice;
+        r.warmupChunks = std::min<u64>(sr.warmupSlices * sliceChunks,
+                                       r.firstChunk);
         regions.push_back(r);
     }
     return Pinball(PinballKind::Regional, spec, std::move(regions));
+}
+
+Pinball
+Logger::makeRegional(const Pinball &whole,
+                     const SimPointResult &simpoints)
+{
+    return makeRegional(whole, regionsFromSimPoints(simpoints));
 }
 
 } // namespace splab

@@ -7,6 +7,7 @@
 #define SPLAB_PINBALL_LOGGER_HH
 
 #include "pinball.hh"
+#include "sampling/region.hh"
 #include "simpoint/simpoint.hh"
 
 namespace splab
@@ -16,7 +17,7 @@ class SyntheticWorkload;
 
 /**
  * Creates Whole Pinballs from live executions and extracts Regional
- * Pinballs from Whole Pinballs given a SimPoint selection.
+ * Pinballs from Whole Pinballs given a region selection.
  */
 class Logger
 {
@@ -33,9 +34,19 @@ class Logger
                                 bool verify = false);
 
     /**
-     * Derive the Regional Pinball of @p simpoints from a Whole
-     * Pinball.  Each simulation point becomes one region of
-     * sliceInstrs instructions with the cluster weight attached.
+     * Derive the Regional Pinball of a strategy's @p selection from
+     * a Whole Pinball.  Each region becomes lengthSlices slices of
+     * chunks with the region weight attached; a strategy's
+     * per-region warm-up prescription carries through as
+     * RegionDesc::warmupChunks (clamped to the available history).
+     */
+    static Pinball makeRegional(const Pinball &whole,
+                                const RegionSelection &selection);
+
+    /**
+     * SimPoint-selection spelling: equivalent to viewing
+     * @p simpoints through regionsFromSimPoints() — one slice per
+     * point, cluster weight attached, no warm-up prescription.
      */
     static Pinball makeRegional(const Pinball &whole,
                                 const SimPointResult &simpoints);

@@ -10,7 +10,9 @@ namespace splab
 namespace
 {
 constexpr u64 kMagic = 0x53504c42'50494e31ULL; // "SPLBPIN1"
-constexpr u32 kVersion = 2;
+// v3: regions carry a per-region warm-up prescription
+// (RegionDesc::warmupChunks).
+constexpr u32 kVersion = 3;
 } // namespace
 
 Pinball::Pinball(PinballKind kind, BenchmarkSpec spec,
@@ -50,6 +52,7 @@ Pinball::serialize(ByteWriter &w) const
         w.put<double>(r.weight);
         w.put<u32>(r.cluster);
         w.put<u64>(r.slice);
+        w.put<u64>(r.warmupChunks);
     }
 }
 
@@ -73,6 +76,7 @@ Pinball::deserialize(ByteReader &r)
         reg.weight = r.get<double>();
         reg.cluster = r.get<u32>();
         reg.slice = r.get<u64>();
+        reg.warmupChunks = r.get<u64>();
     }
     return p;
 }

@@ -40,6 +40,12 @@ struct RegionDesc
     double weight = 1.0;   ///< cluster share of the whole run
     u32 cluster = 0;
     SliceIndex slice = 0;  ///< slice index this region represents
+    /** Per-region functional warm-up prescription (chunks replayed
+     *  immediately before the region), from strategies that budget
+     *  their own warm-up (SMARTS wunit/allwarm).  0 = no
+     *  prescription: warm replays fall back to the experiment-wide
+     *  warmupChunks parameter. */
+    u64 warmupChunks = 0;
 };
 
 /** An in-memory pinball; save()/load() move it to/from disk. */

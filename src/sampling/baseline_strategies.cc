@@ -1,0 +1,109 @@
+#include <algorithm>
+
+#include "obs/manifest.hh"
+#include "strategies.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace splab
+{
+
+namespace
+{
+
+/**
+ * Shared tail of the behaviour-oblivious baselines: sorted distinct
+ * slices become single-slice regions with equal counts.  The count
+ * is totalSlices / n (the per-region share the old baselines
+ * reported as clusterSize), so normalize() yields exactly the old
+ * 1/n weights: count / (n * count) is the same real number, hence
+ * the same correctly-rounded double.
+ */
+RegionSelection
+fromSlices(std::vector<SliceIndex> slices, const StrategyInputs &in)
+{
+    std::sort(slices.begin(), slices.end());
+    slices.erase(std::unique(slices.begin(), slices.end()),
+                 slices.end());
+    RegionSelection sel;
+    sel.totalSlices = in.totalSlices;
+    sel.sliceInstrs = in.sliceInstrs;
+    u64 share = in.totalSlices / slices.size();
+    for (u32 i = 0; i < slices.size(); ++i) {
+        Region r;
+        r.startSlice = slices[i];
+        r.lengthSlices = 1;
+        r.count = share;
+        r.cluster = i;
+        sel.regions.push_back(r);
+    }
+    sel.normalize();
+    return sel;
+}
+
+u32
+clampBudget(u32 n, u64 totalSlices, const char *who)
+{
+    SPLAB_ASSERT(totalSlices > 0, who, ": empty run");
+    SPLAB_ASSERT(n > 0, who, ": need n >= 1");
+    if (n > totalSlices)
+        n = static_cast<u32>(totalSlices);
+    return n;
+}
+
+} // namespace
+
+RegionSelection
+StrideStrategy::select(const StrategyInputs &in) const
+{
+    u32 n = clampBudget(cfg.n, in.totalSlices, "stride");
+    std::vector<SliceIndex> slices;
+    double stride = static_cast<double>(in.totalSlices) /
+                    static_cast<double>(n);
+    for (u32 i = 0; i < n; ++i) {
+        auto s = static_cast<SliceIndex>(
+            (static_cast<double>(i) + 0.5) * stride);
+        if (s >= in.totalSlices)
+            s = in.totalSlices - 1;
+        slices.push_back(s);
+    }
+    RegionSelection sel = fromSlices(std::move(slices), in);
+    accountSelection(kind(), sel);
+    return sel;
+}
+
+void
+StrideStrategy::describe(obs::RunManifest &m) const
+{
+    m.setConfig("sampling.strategy", name());
+    m.setConfig("sampling.stride.n", cfg.n);
+}
+
+RegionSelection
+RandomStrategy::select(const StrategyInputs &in) const
+{
+    u32 n = clampBudget(cfg.n, in.totalSlices, "random");
+    Rng rng(cfg.seed, 0x5a3eULL);
+    std::vector<SliceIndex> slices;
+    // Rejection sampling without replacement; n << totalSlices in
+    // all realistic uses, so this terminates quickly.
+    while (slices.size() < n) {
+        SliceIndex s = rng.below(in.totalSlices);
+        if (std::find(slices.begin(), slices.end(), s) ==
+            slices.end())
+            slices.push_back(s);
+    }
+    RegionSelection sel = fromSlices(std::move(slices), in);
+    accountSelection(kind(), sel);
+    return sel;
+}
+
+void
+RandomStrategy::describe(obs::RunManifest &m) const
+{
+    m.setConfig("sampling.strategy", name());
+    m.setConfig("sampling.random.n", cfg.n);
+    m.setConfig("sampling.random.seed", cfg.seed);
+}
+
+} // namespace splab

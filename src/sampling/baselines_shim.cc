@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Thin forwarding shim keeping the legacy simpoint/baselines.hh
+ * entry points alive: the implementations moved behind the
+ * SamplingStrategy interface (baseline_strategies.cc), and these
+ * wrappers reproduce the historical SimPointResult shape
+ * bit-for-bit (weights 1/n, clusterSize totalSlices/n).
+ */
+
+#include "simpoint/baselines.hh"
+#include "strategies.hh"
+
+namespace splab
+{
+
+SimPointResult
+systematicSample(u64 totalSlices, ICount sliceInstrs, u32 n)
+{
+    StrategyInputs in{nullptr, totalSlices, sliceInstrs};
+    StrideConfig cfg;
+    cfg.n = n;
+    return simPointsFromRegions(StrideStrategy(cfg).select(in));
+}
+
+SimPointResult
+randomSample(u64 totalSlices, ICount sliceInstrs, u32 n, u64 seed)
+{
+    StrategyInputs in{nullptr, totalSlices, sliceInstrs};
+    RandomConfig cfg;
+    cfg.n = n;
+    cfg.seed = seed;
+    return simPointsFromRegions(RandomStrategy(cfg).select(in));
+}
+
+} // namespace splab

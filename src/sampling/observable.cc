@@ -1,0 +1,20 @@
+#include "observable.hh"
+
+#include "simpoint/projection.hh"
+#include "support/rng.hh"
+
+namespace splab
+{
+
+std::vector<double>
+sliceObservable(const std::vector<FrequencyVector> &bbvs, u64 seed)
+{
+    RandomProjection proj(1, hashCombine(seed, 0x0b5eULL));
+    DenseMatrix m = proj.projectAllNormalized(bbvs);
+    std::vector<double> out(m.rows());
+    for (std::size_t i = 0; i < m.rows(); ++i)
+        out[i] = m.row(i)[0];
+    return out;
+}
+
+} // namespace splab

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The scalar per-slice observable the distribution-based strategies
+ * (stratified, ranked-set) stratify and rank on: a 1-dimensional
+ * random projection of the L1-normalized BBV.  One dimension keeps
+ * ranking and quantile strata well-defined while still separating
+ * program phases (Johnson-Lindenstrauss at D=1 is lossy, but phase
+ * separation only needs a consistent ordering, not distances).
+ */
+
+#ifndef SPLAB_SAMPLING_OBSERVABLE_HH
+#define SPLAB_SAMPLING_OBSERVABLE_HH
+
+#include <vector>
+
+#include "simpoint/bbv.hh"
+
+namespace splab
+{
+
+/** One scalar per slice; deterministic in (bbvs, seed). */
+std::vector<double>
+sliceObservable(const std::vector<FrequencyVector> &bbvs, u64 seed);
+
+} // namespace splab
+
+#endif // SPLAB_SAMPLING_OBSERVABLE_HH

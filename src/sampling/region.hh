@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The uniform output of every sampling strategy: a RegionSelection.
+ *
+ * A Region names a contiguous run of slices to measure, how many
+ * slices of the whole run it stands for (its integer count — the
+ * exact numerator of its weight), and an optional functional warm-up
+ * prefix.  RegionSelection::normalize() is the single shared
+ * weight-normalization: weight_i = count_i / sum(count) as one
+ * correctly-rounded double division per region, so every weight is
+ * bit-equal to the rational reconstruction used by extrapolation
+ * (no strategy re-normalizes on its own — the duplication this file
+ * replaces drifted by ulps between SimPoint and the baselines).
+ *
+ * Header-only on purpose: only support/types.hh is needed, so
+ * splab_simpoint can consume it without a link-time dependency on
+ * splab_sampling (which links splab_simpoint).
+ */
+
+#ifndef SPLAB_SAMPLING_REGION_HH
+#define SPLAB_SAMPLING_REGION_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace splab
+{
+
+/** One selected region: a contiguous run of slices plus weight. */
+struct Region
+{
+    SliceIndex startSlice = 0; ///< first measured slice
+    u64 lengthSlices = 1;      ///< measured length in slices
+    /** How many whole-run slices this region stands for — the exact
+     *  integer numerator of its weight (cluster population for
+     *  behaviour-aware strategies, selection multiplicity for
+     *  ranked-set, stratum share for stratified). */
+    u64 count = 1;
+    double weight = 0.0; ///< count / sum(count); see normalize()
+    u32 cluster = 0;     ///< cluster / stratum / rank label
+    /** Functional warm-up prefix prescribed by the strategy, in
+     *  slices immediately preceding startSlice (0 = use the
+     *  experiment-wide warm-up budget on warm replays). */
+    u64 warmupSlices = 0;
+};
+
+/** What a SamplingStrategy returns: the regions plus run shape. */
+struct RegionSelection
+{
+    std::vector<Region> regions; ///< sorted by startSlice
+    u64 totalSlices = 0;         ///< slices in the whole run
+    ICount sliceInstrs = 0;      ///< slice length (model instrs)
+    /** Slices the strategy itself executed to decide (pilot pass of
+     *  stratified sampling); charged to the reduction factor. */
+    u64 pilotSlices = 0;
+
+    /** Sum of the integer weight numerators. */
+    u64
+    countTotal() const
+    {
+        u64 t = 0;
+        for (const Region &r : regions)
+            t += r.count;
+        return t;
+    }
+
+    /** Slices actually measured (sum of region lengths). */
+    u64
+    measuredSlices() const
+    {
+        u64 t = 0;
+        for (const Region &r : regions)
+            t += r.lengthSlices;
+        return t;
+    }
+
+    /**
+     * Warm-up slices budgeted across all regions: each region's own
+     * prescription, or @p fallbackSlices where it has none (the
+     * experiment-wide budget), clamped to the slices actually
+     * available before the region.
+     */
+    u64
+    warmupSlicesTotal(u64 fallbackSlices) const
+    {
+        u64 t = 0;
+        for (const Region &r : regions) {
+            u64 w = r.warmupSlices > 0 ? r.warmupSlices
+                                       : fallbackSlices;
+            t += std::min<u64>(w, r.startSlice);
+        }
+        return t;
+    }
+
+    /** Sum of (already normalized) weights. */
+    double
+    totalWeight() const
+    {
+        double s = 0.0;
+        for (const Region &r : regions)
+            s += r.weight;
+        return s;
+    }
+
+    /**
+     * The shared weight normalization: weight_i = count_i / total
+     * where total = sum(count), one correctly-rounded division per
+     * region.  Equal real operands give equal doubles, so any caller
+     * reconstructing count_i / total independently lands on the same
+     * bits (0 ulp) — the exact-sum contract tested in
+     * test_sampling.cc.
+     */
+    void
+    normalize()
+    {
+        u64 total = countTotal();
+        if (total == 0)
+            return;
+        double denom = static_cast<double>(total);
+        for (Region &r : regions)
+            r.weight = static_cast<double>(r.count) / denom;
+    }
+
+    /** Sort regions by start slice (ties by cluster label) — the
+     *  ordering guarantee of the SamplingStrategy contract. */
+    void
+    sortByStart()
+    {
+        std::sort(regions.begin(), regions.end(),
+                  [](const Region &a, const Region &b) {
+                      if (a.startSlice != b.startSlice)
+                          return a.startSlice < b.startSlice;
+                      return a.cluster < b.cluster;
+                  });
+    }
+
+    /**
+     * Strategy-aware reduction factor: whole-run slices over every
+     * slice the methodology executes — measured regions, warm-up
+     * prefixes (@p fallbackWarmupSlices where not prescribed) and
+     * the pilot pass.
+     */
+    double
+    reductionFactor(u64 fallbackWarmupSlices) const
+    {
+        u64 spent = measuredSlices() +
+                    warmupSlicesTotal(fallbackWarmupSlices) +
+                    pilotSlices;
+        if (spent == 0)
+            return 0.0;
+        return static_cast<double>(totalSlices) /
+               static_cast<double>(spent);
+    }
+};
+
+} // namespace splab
+
+#endif // SPLAB_SAMPLING_REGION_HH

@@ -1,0 +1,62 @@
+#include <algorithm>
+
+#include "obs/manifest.hh"
+#include "strategies.hh"
+#include "support/logging.hh"
+
+namespace splab
+{
+
+/**
+ * SMARTS systematic sampling: carve the run into measurement units
+ * of munit slices, measure every k-th unit starting mid-interval
+ * (offset k/2), and prescribe per-region functional warm-up — a
+ * wunit-slice prefix, or the whole inter-unit gap when allwarm is
+ * set (SMARTSim's continuous functional warming).  Units are
+ * weighted by measured length, which equals equal-unit weighting
+ * except for a clamped tail unit.
+ */
+RegionSelection
+SmartsStrategy::select(const StrategyInputs &in) const
+{
+    SPLAB_ASSERT(in.totalSlices > 0, "smarts: empty run");
+    u64 munit = std::max<u64>(1, cfg.munit);
+    u64 k = std::max<u64>(1, cfg.k);
+    u64 totalUnits = std::max<u64>(1, in.totalSlices / munit);
+    u64 offset = std::min<u64>(k / 2, totalUnits - 1);
+
+    RegionSelection sel;
+    sel.totalSlices = in.totalSlices;
+    sel.sliceInstrs = in.sliceInstrs;
+
+    u64 prevEnd = 0;
+    u32 unitIdx = 0;
+    for (u64 u = offset; u < totalUnits; u += k) {
+        Region r;
+        r.startSlice = u * munit;
+        r.lengthSlices =
+            std::min<u64>(munit, in.totalSlices - r.startSlice);
+        r.count = r.lengthSlices;
+        r.cluster = unitIdx++;
+        r.warmupSlices = cfg.allwarm ? r.startSlice - prevEnd
+                                     : std::min<u64>(cfg.wunit,
+                                                     r.startSlice);
+        prevEnd = r.startSlice + r.lengthSlices;
+        sel.regions.push_back(r);
+    }
+    sel.normalize();
+    accountSelection(kind(), sel);
+    return sel;
+}
+
+void
+SmartsStrategy::describe(obs::RunManifest &m) const
+{
+    m.setConfig("sampling.strategy", name());
+    m.setConfig("sampling.smarts.k", cfg.k);
+    m.setConfig("sampling.smarts.munit", cfg.munit);
+    m.setConfig("sampling.smarts.wunit", cfg.wunit);
+    m.setConfig("sampling.smarts.allwarm", cfg.allwarm);
+}
+
+} // namespace splab

@@ -1,0 +1,136 @@
+#include <algorithm>
+#include <numeric>
+
+#include "obs/manifest.hh"
+#include "observable.hh"
+#include "strategies.hh"
+#include "support/logging.hh"
+
+namespace splab
+{
+
+/**
+ * Ekman-style two-phase stratified sampling.
+ *
+ * Phase 1 (pilot): measure every pilotStride-th slice's observable
+ * (here the 1-D BBV projection — the pilot cost is still charged to
+ * the reduction factor as pilotSlices) and place equal-frequency
+ * stratum boundaries at the pilot quantiles.
+ *
+ * Phase 2: assign every slice to its stratum, allocate the region
+ * budget across strata proportionally to stratum population
+ * (largest-remainder rounding, at least one region per non-empty
+ * stratum), and within each stratum pick the middle slice of each
+ * of m_s equal contiguous spans of the stratum's member list.
+ * Region counts are the exact span populations, so counts sum to
+ * totalSlices and normalize() reconstructs the stratified estimator
+ * weights exactly.
+ */
+RegionSelection
+StratifiedStrategy::select(const StrategyInputs &in) const
+{
+    SPLAB_ASSERT(in.bbvs != nullptr,
+                 "stratified strategy needs a BBV profile");
+    SPLAB_ASSERT(in.totalSlices == in.bbvs->size(),
+                 "stratified: BBV profile does not cover the run");
+    const u64 n = in.totalSlices;
+    std::vector<double> obs = sliceObservable(*in.bbvs, cfg.seed);
+
+    RegionSelection sel;
+    sel.totalSlices = n;
+    sel.sliceInstrs = in.sliceInstrs;
+
+    // Phase 1: strided pilot pass -> quantile stratum boundaries.
+    u64 stride = std::max<u32>(1, cfg.pilotStride);
+    std::vector<double> pilot;
+    for (u64 i = 0; i < n; i += stride)
+        pilot.push_back(obs[i]);
+    sel.pilotSlices = pilot.size();
+    std::sort(pilot.begin(), pilot.end());
+
+    u32 strata = std::max<u32>(1, cfg.strata);
+    std::vector<double> bounds;
+    for (u32 j = 1; j < strata; ++j)
+        bounds.push_back(
+            pilot[static_cast<std::size_t>(j) * pilot.size() /
+                  strata]);
+
+    // Phase 2: full assignment + proportional allocation.
+    std::vector<std::vector<SliceIndex>> members(strata);
+    for (u64 i = 0; i < n; ++i) {
+        auto it = std::upper_bound(bounds.begin(), bounds.end(),
+                                   obs[i]);
+        members[static_cast<std::size_t>(it - bounds.begin())]
+            .push_back(i);
+    }
+
+    u32 nonEmpty = 0;
+    for (const auto &m : members)
+        nonEmpty += !m.empty();
+    u64 budget = std::max<u64>(cfg.budget, nonEmpty);
+    budget = std::min<u64>(budget, n);
+
+    // Largest-remainder apportionment of the budget by population,
+    // then clamp into [1, population] per non-empty stratum.
+    std::vector<u64> alloc(strata, 0), rem(strata, 0);
+    u64 given = 0;
+    for (u32 s = 0; s < strata; ++s) {
+        if (members[s].empty())
+            continue;
+        u64 exact = members[s].size() * budget;
+        alloc[s] = exact / n;
+        rem[s] = exact % n;
+        given += alloc[s];
+    }
+    std::vector<u32> order;
+    for (u32 s = 0; s < strata; ++s)
+        if (!members[s].empty())
+            order.push_back(s);
+    std::sort(order.begin(), order.end(), [&](u32 a, u32 b) {
+        if (rem[a] != rem[b])
+            return rem[a] > rem[b];
+        return a < b;
+    });
+    for (std::size_t i = 0; given < budget; ++i)
+        ++alloc[order[i % order.size()]], ++given;
+    for (u32 s : order)
+        alloc[s] = std::clamp<u64>(alloc[s], 1, members[s].size());
+
+    // One region per allocation span: the middle member represents
+    // the span, the span population is its exact weight numerator.
+    for (u32 s = 0; s < strata; ++s) {
+        const auto &mem = members[s];
+        u64 m = alloc[s];
+        if (mem.empty() || m == 0)
+            continue;
+        u64 base = mem.size() / m, extra = mem.size() % m;
+        u64 pos = 0;
+        for (u64 seg = 0; seg < m; ++seg) {
+            u64 len = base + (seg < extra ? 1 : 0);
+            Region r;
+            r.startSlice = mem[pos + len / 2];
+            r.lengthSlices = 1;
+            r.count = len;
+            r.cluster = s;
+            sel.regions.push_back(r);
+            pos += len;
+        }
+    }
+    sel.sortByStart();
+    sel.normalize();
+    accountSelection(kind(), sel);
+    return sel;
+}
+
+void
+StratifiedStrategy::describe(obs::RunManifest &m) const
+{
+    m.setConfig("sampling.strategy", name());
+    m.setConfig("sampling.stratified.strata", cfg.strata);
+    m.setConfig("sampling.stratified.budget", cfg.budget);
+    m.setConfig("sampling.stratified.pilot_stride",
+                cfg.pilotStride);
+    m.setConfig("sampling.stratified.seed", cfg.seed);
+}
+
+} // namespace splab

@@ -1,15 +1,13 @@
 /**
  * @file
- * Baseline statistical-sampling strategies to compare SimPoint
- * against (cf. SimFlex/SMARTS-style systematic sampling, Section V-B
- * of the paper).
- *
- * Both baselines pick regions without looking at program behaviour:
- * systematic sampling spaces them evenly through the run; random
- * sampling draws them uniformly.  Each selected slice carries equal
- * weight.  They produce SimPointResult-shaped outputs so the whole
- * measurement stack (regional pinballs, replay, aggregation) can be
- * reused unchanged.
+ * DEPRECATED forwarding shim: the behaviour-oblivious baselines
+ * (SimFlex/SMARTS-style systematic sampling and uniform random
+ * sampling, Section V-B of the paper) now live behind the
+ * SamplingStrategy interface as the "stride" and "random"
+ * strategies (src/sampling/strategies.hh).  These free functions
+ * forward there and reproduce the historical SimPointResult shape
+ * bit-for-bit; new code should go through makeStrategy() /
+ * ExperimentConfig::withStrategy() instead.
  */
 
 #ifndef SPLAB_SIMPOINT_BASELINES_HH

@@ -5,6 +5,7 @@
 
 #include "obs/counters.hh"
 #include "obs/trace.hh"
+#include "sampling/region.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 #include "support/serialize.hh"
@@ -315,13 +316,22 @@ finalize(const KMeansResult &fit, const DenseMatrix &allProjected,
             }
         }
 
-    double total = static_cast<double>(n);
+    // Weights go through the one shared rational normalization
+    // (RegionSelection::normalize): count_g / sum(count).  The
+    // group populations sum to n, so this is the same correctly-
+    // rounded division as the historical groupPop / n — bit-equal —
+    // but now every strategy normalizes identically.
+    RegionSelection norm;
+    norm.regions.resize(nGroups);
+    for (u32 g = 0; g < nGroups; ++g)
+        norm.regions[g].count = groupPop[g];
+    norm.normalize();
     for (u32 g = 0; g < nGroups; ++g) {
         SimPoint p;
         p.slice = representative[g];
         p.cluster = g;
         p.clusterSize = groupPop[g];
-        p.weight = static_cast<double>(groupPop[g]) / total;
+        p.weight = norm.regions[g].weight;
         p.variance =
             groupSumDist[g] / static_cast<double>(groupPop[g]);
         res.points.push_back(p);

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * CI smoke check for the pluggable sampling strategies: runs the
+ * strategy-comparison bench (argv[1]) twice against one fresh
+ * artifact-cache directory — cold, then warm — and verifies that
+ *
+ *  - the comparison CSV carries the stable schema
+ *    (strategy,benchmark,regions,reduction_factor,mix_err,l1d_err,
+ *    l3_err,cpi_err),
+ *  - every registered strategy produced rows,
+ *  - the warm run is byte-identical to the cold run and was served
+ *    from the per-strategy blob families (fewer nodes computed,
+ *    more cache hits than cold — the cold run itself legitimately
+ *    hits the cache, since all six strategy graphs share one
+ *    whole-run reference through the same cache handle).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace
+{
+
+int failures = 0;
+
+void
+check(bool ok, const std::string &what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "smoke_strategies: FAIL: %s\n",
+                     what.c_str());
+        ++failures;
+    }
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return "";
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return text;
+}
+
+/** counters.<name> as a u64, or 0 when absent. */
+splab::u64
+counterOf(const splab::obs::JsonValue &manifest, const char *name)
+{
+    const splab::obs::JsonValue *counters = manifest.find("counters");
+    if (!counters)
+        return 0;
+    const splab::obs::JsonValue *c = counters->find(name);
+    return c ? c->asU64() : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr,
+                     "usage: smoke_strategies <strategy-bench>\n");
+        return 2;
+    }
+    std::string bin = argv[1];
+    std::string cacheDir = bin + ".smoke-cache";
+    std::filesystem::remove_all(cacheDir);
+    std::filesystem::create_directories(cacheDir);
+
+    std::string cmd = "SPLAB_MANIFEST=1 SPLAB_CACHE=\"" + cacheDir +
+                      "\" SPLAB_LOG=0 SPLAB_SCALE=0.05 "
+                      "SPLAB_THREADS=4 \"" +
+                      bin + "\" > /dev/null";
+
+    check(std::system(cmd.c_str()) == 0,
+          "cold bench run exited non-zero");
+    std::string coldCsv = slurp(bin + ".csv");
+    std::string coldMani = slurp(bin + ".manifest.json");
+
+    check(std::system(cmd.c_str()) == 0,
+          "warm bench run exited non-zero");
+    std::string warmCsv = slurp(bin + ".csv");
+    std::string warmMani = slurp(bin + ".manifest.json");
+
+    check(!coldCsv.empty(), "cold CSV missing or empty");
+    check(coldCsv == warmCsv,
+          "warm-cache CSV differs from cold-cache CSV");
+
+    // Schema: the stable header the comparison table promises.
+    const std::string header = "strategy,benchmark,regions,"
+                               "reduction_factor,mix_err,l1d_err,"
+                               "l3_err,cpi_err";
+    check(coldCsv.rfind(header + "\n", 0) == 0,
+          "comparison CSV header is not the stable schema");
+
+    // Every registered strategy reported rows.
+    const std::vector<std::string> strategies = {
+        "simpoint", "smarts",  "stratified",
+        "ranked_set", "random", "stride"};
+    for (const std::string &s : strategies)
+        check(coldCsv.find("\n" + s + ",") != std::string::npos,
+              "no CSV rows for strategy " + s);
+
+    // Every per-strategy blob family landed on disk (flat
+    // "<family>-<key>.bin" cache layout).
+    for (const std::string &s : strategies) {
+        bool onDisk = false;
+        for (const auto &e :
+             std::filesystem::directory_iterator(cacheDir))
+            if (e.path().filename().string().rfind(
+                    "regions_" + s + "-", 0) == 0)
+                onDisk = true;
+        check(onDisk, "missing blob family regions_" + s);
+    }
+    std::filesystem::remove_all(cacheDir);
+
+    using splab::obs::parseJson;
+    auto cold = parseJson(coldMani);
+    auto warm = parseJson(warmMani);
+    check(cold.has_value(), "cold manifest does not parse");
+    check(warm.has_value(), "warm manifest does not parse");
+    if (cold && warm) {
+        check(counterOf(*warm, "graph.cache_hits") >
+                  counterOf(*cold, "graph.cache_hits"),
+              "warm run did not hit the cache more than cold");
+        check(counterOf(*warm, "graph.nodes_computed") <
+                  counterOf(*cold, "graph.nodes_computed"),
+              "warm run recomputed as much as the cold run");
+        // The per-strategy selection counters are part of the
+        // observable surface: each strategy accounted its regions
+        // in the cold run.
+        for (const std::string &s : strategies)
+            check(counterOf(*cold, ("sampling." + s +
+                                    ".regions_selected")
+                                       .c_str()) > 0,
+                  "cold run missing sampling." + s +
+                      ".regions_selected");
+    }
+
+    if (failures == 0)
+        std::printf("smoke_strategies: OK (%s)\n", bin.c_str());
+    return failures == 0 ? 0 : 1;
+}

@@ -175,6 +175,25 @@ TEST(ExperimentConfigHash, EveryFieldChangesTheHash)
         c.machine.robEntries += 32;
         variants.push_back(c);
     }
+    variants.push_back(fastConfig().withStrategy("smarts"));
+    {
+        // Inactive-strategy knobs still count for the whole-
+        // experiment hash (per-node keys ignore them; see
+        // test_sampling.cc).
+        ExperimentConfig c = fastConfig();
+        c.sampling.smarts.munit += 1;
+        variants.push_back(c);
+    }
+    {
+        ExperimentConfig c = fastConfig();
+        c.sampling.stratified.strata += 1;
+        variants.push_back(c);
+    }
+    {
+        ExperimentConfig c = fastConfig();
+        c.sampling.rankedSet.subsamples += 1;
+        variants.push_back(c);
+    }
     {
         ExperimentConfig c = fastConfig();
         c.cost.regionalRate *= 1.5;
@@ -260,10 +279,10 @@ TEST(ArtifactGraphScheduling, RunSuiteThreadCountInvariant)
     // snapshots must match across thread counts too.
     EXPECT_EQ(counters[0], counters[1]);
     EXPECT_EQ(counters[0], counters[2]);
-    // spec, bbv, sp, fused, whole-cache projection, regional
-    // pinball, cold replays
+    // spec, bbv, sp, regions, fused, whole-cache projection,
+    // regional pinball, cold replays
     EXPECT_EQ(counters[0].at("graph.nodes_computed"),
-              kBenches.size() * 7);
+              kBenches.size() * 8);
     EXPECT_EQ(counters[0].at("graph.tasks_scheduled"),
               kBenches.size() * targets.size());
 }
@@ -611,8 +630,13 @@ TEST(ArtifactGraphManifest, RecordsDependencyClosure)
     // Target plus its transitive upstreams, nothing else.
     EXPECT_NE(json.find("\"pointscold/" + kBenches[0] + "\""),
               std::string::npos);
-    EXPECT_NE(json.find("\"simpoints/" + kBenches[0] + "\""),
+    // Region selection is in the closure (strategy-qualified blob
+    // family); the SimPoints node is not — Regions declares its
+    // value dependency on the BBV profile, not on how the simpoint
+    // strategy's compute routes.
+    EXPECT_NE(json.find("\"regions_simpoint/" + kBenches[0] + "\""),
               std::string::npos);
+    EXPECT_EQ(json.find("\"simpoints/"), std::string::npos);
     EXPECT_NE(json.find("\"bbvprofile/" + kBenches[0] + "\""),
               std::string::npos);
     EXPECT_NE(json.find("\"spec/" + kBenches[0] + "\""),
@@ -641,6 +665,7 @@ TEST(ArtifactGraphSerialization, RoundTripsEveryKind)
     roundTrip(ArtifactKind::Spec, g.spec(b));
     roundTrip(ArtifactKind::BbvProfile, g.bbvProfile(b));
     roundTrip(ArtifactKind::SimPoints, g.simpoints(b));
+    roundTrip(ArtifactKind::Regions, g.regions(b));
     roundTrip(ArtifactKind::PointsCacheCold, g.pointsCacheCold(b));
 }
 
