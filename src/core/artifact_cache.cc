@@ -1,11 +1,15 @@
 #include "artifact_cache.hh"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <mutex>
 #include <set>
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include "obs/counters.hh"
@@ -18,6 +22,9 @@ namespace splab
 
 namespace
 {
+
+constexpr u64 kIndexMagic = 0x53504c4142494458ULL; // "SPLABIDX"
+constexpr u32 kIndexVersion = 1;
 
 /**
  * True when @p dir accepts new files.  std::filesystem permission
@@ -49,7 +56,110 @@ warnOnce(const std::string &dir, const char *why)
     SPLAB_WARN("cache dir ", dir, ": ", why, "; caching disabled");
 }
 
+/**
+ * Exclusive flock over "<root>/index.lock" serializing index
+ * read-modify-write cycles across processes.  Advisory, so only
+ * ArtifactCache instances contend; blob reads never take it.
+ */
+class FileLock
+{
+  public:
+    explicit FileLock(const std::string &path)
+        : fd(::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644))
+    {
+        if (fd < 0)
+            return;
+        while (::flock(fd, LOCK_EX) != 0) {
+            if (errno != EINTR) {
+                ::close(fd);
+                fd = -1;
+                return;
+            }
+        }
+    }
+
+    ~FileLock()
+    {
+        if (fd >= 0)
+            ::close(fd); // closing drops the flock
+    }
+
+    FileLock(const FileLock &) = delete;
+    FileLock &operator=(const FileLock &) = delete;
+
+  private:
+    int fd;
+};
+
+u64
+fileSizeOr0(const std::string &p)
+{
+    std::error_code ec;
+    auto n = std::filesystem::file_size(p, ec);
+    return ec ? 0 : static_cast<u64>(n);
+}
+
+obs::Counter &
+evictionsCounter()
+{
+    return obs::counter("artifact_cache.evictions",
+                        "artifact blobs evicted by the size budget");
+}
+
+obs::Counter &
+bytesEvictedCounter()
+{
+    return obs::counter("artifact_cache.bytes_evicted",
+                        "bytes reclaimed by cache eviction");
+}
+
+obs::Counter &
+sharedReclaimedCounter()
+{
+    return obs::counter("artifact_cache.shared_blobs_reclaimed",
+                        "shared sub-blobs reclaimed after their last "
+                        "referencing artifact was evicted");
+}
+
+obs::Gauge &
+residentGauge()
+{
+    return obs::gauge("artifact_cache.resident_bytes",
+                      "indexed artifact + shared sub-blob bytes");
+}
+
 } // namespace
+
+/**
+ * In-memory mirror of index.bin.  Disk is authoritative: every
+ * mutation reloads under the file lock before applying, so the
+ * mirror only exists to answer usage() without touching the disk.
+ */
+struct ArtifactCache::IndexState
+{
+    struct Entry
+    {
+        u64 size = 0;    ///< blob file bytes (payload + checksum)
+        u64 lastUse = 0; ///< logical stamp, bumped on load/store
+        std::vector<std::string> refFiles; ///< shared files referenced
+    };
+
+    std::mutex mtx;
+    std::map<std::string, Entry> entries; ///< artifact blobs, by name
+    std::map<std::string, u64> shared;    ///< shared sub-blob sizes
+    u64 stamp = 0; ///< logical clock for last-use ordering
+
+    u64
+    residentBytes() const
+    {
+        u64 total = 0;
+        for (const auto &kv : entries)
+            total += kv.second.size;
+        for (const auto &kv : shared)
+            total += kv.second;
+        return total;
+    }
+};
 
 const char *
 cacheStatusName(CacheStatus s)
@@ -67,8 +177,30 @@ cacheStatusName(CacheStatus s)
     return "unknown";
 }
 
-ArtifactCache::ArtifactCache(std::string dir) : root(std::move(dir))
+ArtifactCache::ArtifactCache(std::string dir, u64 maxBytes)
+    : root(std::move(dir)), budget(maxBytes)
 {
+    // Register the whole counter family eagerly so every run
+    // manifest carries it even when the counts stay zero.
+    obs::counter("artifact_cache.hits", "cache lookups served");
+    obs::counter("artifact_cache.misses",
+                 "cache lookups with no blob");
+    obs::counter("artifact_cache.corrupt",
+                 "cache blobs failing checksum validation");
+    obs::counter("artifact_cache.disabled_lookups",
+                 "cache lookups while disabled");
+    obs::counter("artifact_cache.bytes_read",
+                 "bytes loaded from cache blobs");
+    obs::counter("artifact_cache.bytes_written",
+                 "bytes stored into cache blobs");
+    obs::counter("artifact_cache.blob_share_hits",
+                 "shared sub-blob stores satisfied by an existing "
+                 "identical blob");
+    evictionsCounter();
+    bytesEvictedCounter();
+    sharedReclaimedCounter();
+    residentGauge();
+
     if (root.empty())
         return;
     std::error_code ec;
@@ -81,13 +213,23 @@ ArtifactCache::ArtifactCache(std::string dir) : root(std::move(dir))
     if (!dirIsWritable(root)) {
         warnOnce(root, "not writable");
         root.clear();
+        return;
     }
+    idx = std::make_unique<IndexState>();
+    // Populate the mirror (and heal a missing/corrupt index) so
+    // usage() is meaningful before the first store.
+    indexMutate([](IndexState &) {});
 }
+
+ArtifactCache::ArtifactCache(ArtifactCache &&) noexcept = default;
+ArtifactCache &
+ArtifactCache::operator=(ArtifactCache &&) noexcept = default;
+ArtifactCache::~ArtifactCache() = default;
 
 ArtifactCache
 ArtifactCache::fromEnv()
 {
-    return ArtifactCache(artifactCacheDir());
+    return ArtifactCache(artifactCacheDir(), cacheMaxBytes());
 }
 
 std::string
@@ -100,23 +242,223 @@ ArtifactCache::path(const std::string &kind, u64 key) const
     return root + "/" + kind + "-" + hex + ".bin";
 }
 
+std::string
+ArtifactCache::sharedFileName(u64 contentHash) const
+{
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(
+                      hashCombine(contentHash, kVersionSalt)));
+    return std::string("shared-") + hex + ".bin";
+}
+
+// --- persistent index ------------------------------------------------
+
+void
+ArtifactCache::indexSaveLocked(const IndexState &st) const
+{
+    ByteWriter w;
+    w.put<u64>(kIndexMagic);
+    w.put<u32>(kIndexVersion);
+    w.put<u64>(st.stamp);
+    w.put<u32>(static_cast<u32>(st.entries.size()));
+    for (const auto &kv : st.entries) {
+        w.putString(kv.first);
+        w.put<u64>(kv.second.size);
+        w.put<u64>(kv.second.lastUse);
+        w.put<u32>(static_cast<u32>(kv.second.refFiles.size()));
+        for (const auto &ref : kv.second.refFiles)
+            w.putString(ref);
+    }
+    w.put<u32>(static_cast<u32>(st.shared.size()));
+    for (const auto &kv : st.shared) {
+        w.putString(kv.first);
+        w.put<u64>(kv.second);
+    }
+
+    // tmp + rename so a reader (or a crash) never sees a torn index.
+    std::string p = root + "/index.bin";
+    std::string tmp =
+        p + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    if (!w.saveFile(tmp)) {
+        SPLAB_WARN("cannot write cache index ", tmp);
+        return;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, p, ec);
+    if (ec) {
+        SPLAB_WARN("cannot publish cache index ", p, ": ",
+                   ec.message());
+        std::filesystem::remove(tmp, ec);
+    }
+}
+
+void
+ArtifactCache::indexRebuildLocked(IndexState &st) const
+{
+    st.entries.clear();
+    st.shared.clear();
+    st.stamp = 0;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(root, ec), end;
+    for (; !ec && it != end; it.increment(ec)) {
+        if (!it->is_regular_file(ec))
+            continue;
+        std::string name = it->path().filename().string();
+        // Skip the index's own files and unpublished temporaries.
+        if (name.rfind("index.", 0) == 0 ||
+            name.find(".tmp.") != std::string::npos ||
+            name.rfind(".", 0) == 0)
+            continue;
+        u64 size = fileSizeOr0(it->path().string());
+        if (name.rfind("shared-", 0) == 0) {
+            st.shared[name] = size;
+        } else {
+            // Shared references are unknowable without decoding the
+            // blob, so leave them empty: after a rebuild, shared
+            // sub-blobs are conservatively never reclaimed.
+            st.entries[name] =
+                IndexState::Entry{size, ++st.stamp, {}};
+        }
+    }
+}
+
+void
+ArtifactCache::indexLoadLocked(IndexState &st) const
+{
+    std::string p = root + "/index.bin";
+    if (!ByteReader::probeFile(p)) {
+        indexRebuildLocked(st);
+        return;
+    }
+    ByteReader r = ByteReader::loadFile(p);
+    if (r.remaining() < sizeof(u64) + sizeof(u32) ||
+        r.get<u64>() != kIndexMagic ||
+        r.get<u32>() != kIndexVersion) {
+        indexRebuildLocked(st);
+        return;
+    }
+    st.entries.clear();
+    st.shared.clear();
+    st.stamp = r.get<u64>();
+    u32 nEntries = r.get<u32>();
+    for (u32 i = 0; i < nEntries; ++i) {
+        std::string name = r.getString();
+        IndexState::Entry e;
+        e.size = r.get<u64>();
+        e.lastUse = r.get<u64>();
+        u32 nRefs = r.get<u32>();
+        e.refFiles.reserve(nRefs);
+        for (u32 j = 0; j < nRefs; ++j)
+            e.refFiles.push_back(r.getString());
+        st.entries.emplace(std::move(name), std::move(e));
+    }
+    u32 nShared = r.get<u32>();
+    for (u32 i = 0; i < nShared; ++i) {
+        std::string name = r.getString();
+        st.shared[name] = r.get<u64>();
+    }
+}
+
+void
+ArtifactCache::evictLocked(IndexState &st,
+                           const std::string &protect) const
+{
+    if (budget == 0)
+        return;
+    u64 resident = st.residentBytes();
+    while (resident > budget) {
+        // Oldest last-use stamp wins; never the blob being stored.
+        auto victim = st.entries.end();
+        for (auto it = st.entries.begin(); it != st.entries.end();
+             ++it) {
+            if (it->first == protect)
+                continue;
+            if (victim == st.entries.end() ||
+                it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        if (victim == st.entries.end())
+            break; // nothing evictable (only the protected blob)
+        std::vector<std::string> refs =
+            std::move(victim->second.refFiles);
+        u64 freed = victim->second.size;
+        std::error_code ec;
+        std::filesystem::remove(root + "/" + victim->first, ec);
+        st.entries.erase(victim);
+        evictionsCounter().add();
+        // Release the victim's shared references: a sub-blob goes
+        // only when no surviving artifact still lists it.
+        for (const auto &ref : refs) {
+            bool stillReferenced = false;
+            for (const auto &kv : st.entries) {
+                for (const auto &other : kv.second.refFiles) {
+                    if (other == ref) {
+                        stillReferenced = true;
+                        break;
+                    }
+                }
+                if (stillReferenced)
+                    break;
+            }
+            if (stillReferenced)
+                continue;
+            auto sh = st.shared.find(ref);
+            if (sh == st.shared.end())
+                continue;
+            freed += sh->second;
+            std::filesystem::remove(root + "/" + sh->first, ec);
+            st.shared.erase(sh);
+            sharedReclaimedCounter().add();
+        }
+        bytesEvictedCounter().add(freed);
+        resident = resident > freed ? resident - freed : 0;
+    }
+}
+
+void
+ArtifactCache::indexMutate(
+    const std::function<void(IndexState &)> &apply,
+    const std::string &protect) const
+{
+    if (!enabled() || !idx)
+        return;
+    std::lock_guard<std::mutex> g(idx->mtx);
+    FileLock lock(root + "/index.lock");
+    indexLoadLocked(*idx);
+    apply(*idx);
+    evictLocked(*idx, protect);
+    indexSaveLocked(*idx);
+    residentGauge().set(idx->residentBytes());
+}
+
+CacheUsage
+ArtifactCache::usage() const
+{
+    CacheUsage u;
+    if (!enabled() || !idx)
+        return u;
+    std::lock_guard<std::mutex> g(idx->mtx);
+    u.artifacts = idx->entries.size();
+    u.sharedBlobs = idx->shared.size();
+    u.residentBytes = idx->residentBytes();
+    return u;
+}
+
+// --- blob operations -------------------------------------------------
+
 CacheOutcome
 ArtifactCache::load(const std::string &kind, u64 key) const
 {
-    static obs::Counter &hits =
-        obs::counter("artifact_cache.hits", "cache lookups served");
+    static obs::Counter &hits = obs::counter("artifact_cache.hits");
     static obs::Counter &misses =
-        obs::counter("artifact_cache.misses",
-                     "cache lookups with no blob");
+        obs::counter("artifact_cache.misses");
     static obs::Counter &corrupt =
-        obs::counter("artifact_cache.corrupt",
-                     "cache blobs failing checksum validation");
+        obs::counter("artifact_cache.corrupt");
     static obs::Counter &disabled =
-        obs::counter("artifact_cache.disabled_lookups",
-                     "cache lookups while disabled");
+        obs::counter("artifact_cache.disabled_lookups");
     static obs::Counter &bytesRead =
-        obs::counter("artifact_cache.bytes_read",
-                     "bytes loaded from cache blobs");
+        obs::counter("artifact_cache.bytes_read");
 
     CacheOutcome out;
     if (!enabled()) {
@@ -142,12 +484,29 @@ ArtifactCache::load(const std::string &kind, u64 key) const
     hits.add();
     bytesRead.add(out.blob->remaining());
     out.status = CacheStatus::Hit;
+    // Refresh the last-use stamp so LRU eviction sees live blobs.
+    // Shared sub-blobs are governed by ref-counts, not recency.
+    if (kind != "shared") {
+        std::string name =
+            std::filesystem::path(p).filename().string();
+        u64 size = fileSizeOr0(p);
+        indexMutate([&](IndexState &st) {
+            auto it = st.entries.find(name);
+            if (it == st.entries.end())
+                it = st.entries
+                         .emplace(name,
+                                  IndexState::Entry{size, 0, {}})
+                         .first;
+            it->second.lastUse = ++st.stamp;
+        });
+    }
     return out;
 }
 
 void
 ArtifactCache::store(const std::string &kind, u64 key,
-                     const ByteWriter &blob) const
+                     const ByteWriter &blob,
+                     const std::vector<u64> &sharedRefs) const
 {
     if (!enabled())
         return;
@@ -156,23 +515,33 @@ ArtifactCache::store(const std::string &kind, u64 key,
         SPLAB_WARN("cannot write cache artifact ", p);
         return;
     }
-    obs::counter("artifact_cache.bytes_written",
-                 "bytes stored into cache blobs")
+    obs::counter("artifact_cache.bytes_written")
         .add(blob.bytes().size());
+    std::string name = std::filesystem::path(p).filename().string();
+    u64 size = fileSizeOr0(p);
+    std::vector<std::string> refs;
+    refs.reserve(sharedRefs.size());
+    for (u64 h : sharedRefs)
+        refs.push_back(sharedFileName(h));
+    indexMutate(
+        [&](IndexState &st) {
+            st.entries[name] =
+                IndexState::Entry{size, ++st.stamp,
+                                  std::move(refs)};
+        },
+        name);
 }
 
 u64
 ArtifactCache::storeShared(const u8 *data, std::size_t size) const
 {
     static obs::Counter &shareHits =
-        obs::counter("artifact_cache.blob_share_hits",
-                     "shared sub-blob stores satisfied by an "
-                     "existing identical blob");
+        obs::counter("artifact_cache.blob_share_hits");
 
     u64 h = hashBytes(data, size);
     if (!enabled())
         return h;
-    std::string p = path("shared", h);
+    std::string p = root + "/" + sharedFileName(h);
     if (ByteReader::probeFile(p)) {
         shareHits.add();
         return h;
@@ -198,16 +567,51 @@ ArtifactCache::storeShared(const u8 *data, std::size_t size) const
         std::filesystem::remove(tmp, ec);
         return h;
     }
-    obs::counter("artifact_cache.bytes_written",
-                 "bytes stored into cache blobs")
-        .add(size);
+    obs::counter("artifact_cache.bytes_written").add(size);
+    std::string name = std::filesystem::path(p).filename().string();
+    u64 fsize = fileSizeOr0(p);
+    indexMutate([&](IndexState &st) { st.shared[name] = fsize; });
     return h;
 }
 
 CacheOutcome
 ArtifactCache::loadShared(u64 contentHash) const
 {
-    return load("shared", contentHash);
+    static obs::Counter &hits = obs::counter("artifact_cache.hits");
+    static obs::Counter &misses =
+        obs::counter("artifact_cache.misses");
+    static obs::Counter &corrupt =
+        obs::counter("artifact_cache.corrupt");
+    static obs::Counter &disabled =
+        obs::counter("artifact_cache.disabled_lookups");
+    static obs::Counter &bytesRead =
+        obs::counter("artifact_cache.bytes_read");
+
+    CacheOutcome out;
+    if (!enabled()) {
+        disabled.add();
+        out.status = CacheStatus::Disabled;
+        return out;
+    }
+    std::string p = root + "/" + sharedFileName(contentHash);
+    if (!ByteReader::probeFile(p)) {
+        std::error_code ec;
+        if (std::filesystem::exists(p, ec) && !ec) {
+            corrupt.add();
+            SPLAB_WARN("corrupt cache blob ", p,
+                       "; recomputing artifact");
+            out.status = CacheStatus::Corrupt;
+        } else {
+            misses.add();
+            out.status = CacheStatus::Miss;
+        }
+        return out;
+    }
+    out.blob = ByteReader::loadFile(p);
+    hits.add();
+    bytesRead.add(out.blob->remaining());
+    out.status = CacheStatus::Hit;
+    return out;
 }
 
 } // namespace splab

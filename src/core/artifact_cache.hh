@@ -12,13 +12,39 @@
  * disabled cache.  A directory that exists but cannot be written is
  * detected up front, warned about once, and degrades the cache to
  * disabled instead of silently failing every store.
+ *
+ * Cache hygiene (the part that matters at fleet scale):
+ *
+ *  - A persistent index ("index.bin": per-blob size, logical
+ *    last-use stamp and shared-blob references) is maintained
+ *    incrementally on every load/store, so size accounting and
+ *    eviction decisions never scan the directory.  A missing or
+ *    corrupt index is rebuilt from one directory scan (last-use
+ *    stamps reset, shared references conservatively unknown).
+ *    Cross-process index mutations serialize through an flock'd
+ *    read-modify-write with an atomic tmp+rename publish.
+ *  - When SPLAB_CACHE_MAX_BYTES (or the maxBytes constructor
+ *    argument) is non-zero, stores that push the resident bytes
+ *    (artifact blobs + shared sub-blobs) over the budget evict
+ *    least-recently-used artifacts until the budget holds.
+ *  - Shared sub-blobs ("shared-<hash>.bin", see storeShared) are
+ *    ref-counted through the index: evicting an artifact releases
+ *    its references, and a sub-blob file is reclaimed only when the
+ *    last artifact referencing it goes — never while a surviving
+ *    ref blob still points at it.
+ *  - Hit/miss/eviction/byte counters ("artifact_cache.*") register
+ *    eagerly at construction so every run manifest carries the full
+ *    family even when a count is zero.
  */
 
 #ifndef SPLAB_CORE_ARTIFACT_CACHE_HH
 #define SPLAB_CORE_ARTIFACT_CACHE_HH
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "support/serialize.hh"
 
@@ -49,17 +75,38 @@ struct CacheOutcome
     ByteReader *operator->() { return &*blob; }
 };
 
+/** Index-derived occupancy snapshot (advisory across processes). */
+struct CacheUsage
+{
+    u64 artifacts = 0;     ///< indexed artifact blobs
+    u64 sharedBlobs = 0;   ///< indexed shared sub-blobs
+    u64 residentBytes = 0; ///< artifact + shared payload bytes
+};
+
 /** Content-addressed blob store under one directory. */
 class ArtifactCache
 {
   public:
-    /** @param dir cache directory; empty disables the cache. */
-    explicit ArtifactCache(std::string dir);
+    /**
+     * @param dir cache directory; empty disables the cache.
+     * @param maxBytes eviction budget; 0 = unbounded.
+     */
+    explicit ArtifactCache(std::string dir, u64 maxBytes = 0);
 
-    /** Cache honouring $SPLAB_CACHE. */
+    /** Cache honouring $SPLAB_CACHE and $SPLAB_CACHE_MAX_BYTES. */
     static ArtifactCache fromEnv();
 
+    ArtifactCache(ArtifactCache &&) noexcept;
+    ArtifactCache &operator=(ArtifactCache &&) noexcept;
+    ~ArtifactCache();
+
     bool enabled() const { return !root.empty(); }
+
+    /** Eviction budget in bytes (0 = unbounded). */
+    u64 maxBytes() const { return budget; }
+
+    /** Cache directory ("" when disabled). */
+    const std::string &dir() const { return root; }
 
     /**
      * Look up a blob.
@@ -68,9 +115,14 @@ class ArtifactCache
      */
     CacheOutcome load(const std::string &kind, u64 key) const;
 
-    /** Store a blob (no-op when disabled). */
+    /** Store a blob (no-op when disabled).  @p sharedRefs lists the
+     *  content hashes of the shared sub-blobs a ref blob points at
+     *  (empty for inline artifacts); the index ref-counts them so
+     *  eviction can reclaim a sub-blob exactly when its last
+     *  referencing artifact goes. */
     void store(const std::string &kind, u64 key,
-               const ByteWriter &blob) const;
+               const ByteWriter &blob,
+               const std::vector<u64> &sharedRefs = {}) const;
 
     /**
      * Store @p size bytes as a content-addressed *shared sub-blob*
@@ -91,6 +143,9 @@ class ArtifactCache
      *  outcome semantics identical to load(). */
     CacheOutcome loadShared(u64 contentHash) const;
 
+    /** Occupancy according to the in-memory index view. */
+    CacheUsage usage() const;
+
     /**
      * Version salt mixed into every key; bump when serialized
      * layouts or producing algorithms change.
@@ -98,9 +153,26 @@ class ArtifactCache
     static constexpr u64 kVersionSalt = 0x53504c41422d7634ULL;
 
   private:
+    struct IndexState; // index + mutex; lives behind a unique_ptr
+                       // so the cache stays movable
+
     std::string path(const std::string &kind, u64 key) const;
+    std::string sharedFileName(u64 contentHash) const;
+
+    /** Run @p apply on the index under the in-process mutex and the
+     *  cross-process file lock: reload the on-disk index (disk is
+     *  authoritative), apply, evict down to the budget (sparing
+     *  @p protect), publish atomically.  No-op when disabled. */
+    void indexMutate(const std::function<void(IndexState &)> &apply,
+                     const std::string &protect = "") const;
+    void indexLoadLocked(IndexState &st) const;
+    void indexSaveLocked(const IndexState &st) const;
+    void indexRebuildLocked(IndexState &st) const;
+    void evictLocked(IndexState &st, const std::string &protect) const;
 
     std::string root;
+    u64 budget = 0;
+    std::unique_ptr<IndexState> idx;
 };
 
 } // namespace splab

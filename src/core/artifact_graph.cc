@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdio>
 
+#include "artifact_backend.hh"
 #include "obs/counters.hh"
 #include "obs/trace.hh"
 #include "pinball/logger.hh"
@@ -351,6 +352,201 @@ ExperimentConfig::describe(obs::RunManifest &m) const
     m.setConfig("experiment.content_hash", hashHex(contentHash()));
 }
 
+namespace
+{
+
+/** Wire-format version of ExperimentConfig::serialize. */
+constexpr u32 kConfigWireVersion = 1;
+
+/// @name Defensive wire readers (false on truncation, never fatal)
+/// @{
+template <typename T>
+bool
+rdGet(ByteReader &r, T &out)
+{
+    if (r.remaining() < sizeof(T))
+        return false;
+    out = r.get<T>();
+    return true;
+}
+
+bool
+rdString(ByteReader &r, std::string &out)
+{
+    u32 n = 0;
+    if (!rdGet(r, n) || r.remaining() < n)
+        return false;
+    std::vector<u8> raw = r.getRaw(n);
+    out.assign(raw.begin(), raw.end());
+    return true;
+}
+/// @}
+
+void
+wrString(ByteWriter &w, const std::string &s)
+{
+    w.put<u32>(static_cast<u32>(s.size()));
+    w.putRaw(reinterpret_cast<const u8 *>(s.data()), s.size());
+}
+
+void
+wrCacheParams(ByteWriter &w, const CacheParams &p)
+{
+    wrString(w, p.name);
+    w.put<u64>(p.sizeBytes);
+    w.put<u32>(p.ways);
+    w.put<u32>(p.lineBytes);
+    w.put<u8>(static_cast<u8>(p.replacement));
+}
+
+bool
+rdCacheParams(ByteReader &r, CacheParams &p)
+{
+    u8 replacement = 0;
+    if (!rdString(r, p.name) || !rdGet(r, p.sizeBytes) ||
+        !rdGet(r, p.ways) || !rdGet(r, p.lineBytes) ||
+        !rdGet(r, replacement) || replacement > 1)
+        return false;
+    p.replacement = static_cast<ReplacementPolicy>(replacement);
+    return true;
+}
+
+} // namespace
+
+void
+ExperimentConfig::serialize(ByteWriter &w) const
+{
+    w.put<u32>(kConfigWireVersion);
+
+    w.put<u32>(simpoint.maxK);
+    w.put<u64>(u64{simpoint.sliceInstrs});
+    w.put<u32>(simpoint.projectionDim);
+    w.put<double>(simpoint.bicFraction);
+    w.put<i32>(static_cast<i32>(simpoint.restarts));
+    w.put<i32>(static_cast<i32>(simpoint.maxIters));
+    w.put<u32>(simpoint.sampleCap);
+    w.put<double>(simpoint.mergeThreshold);
+    w.put<u64>(simpoint.seed);
+
+    w.put<u8>(static_cast<u8>(sampling.strategy));
+    w.put<u64>(sampling.smarts.k);
+    w.put<u64>(sampling.smarts.munit);
+    w.put<u64>(sampling.smarts.wunit);
+    w.put<u8>(sampling.smarts.allwarm ? 1 : 0);
+    w.put<u32>(sampling.stratified.strata);
+    w.put<u32>(sampling.stratified.budget);
+    w.put<u32>(sampling.stratified.pilotStride);
+    w.put<u64>(sampling.stratified.seed);
+    w.put<u32>(sampling.rankedSet.setSize);
+    w.put<u32>(sampling.rankedSet.cycles);
+    w.put<u32>(sampling.rankedSet.subsamples);
+    w.put<u64>(sampling.rankedSet.seed);
+    w.put<u32>(sampling.random.n);
+    w.put<u64>(sampling.random.seed);
+    w.put<u32>(sampling.stride.n);
+
+    wrCacheParams(w, allcache.l1i);
+    wrCacheParams(w, allcache.l1d);
+    wrCacheParams(w, allcache.l2);
+    wrCacheParams(w, allcache.l3);
+
+    wrString(w, machine.model);
+    w.put<double>(machine.frequencyGHz);
+    w.put<u32>(machine.dispatchWidth);
+    w.put<u32>(machine.robEntries);
+    w.put<u32>(machine.branchMispredictPenalty);
+    w.put<u32>(machine.l1LatencyCycles);
+    w.put<u32>(machine.l2LatencyCycles);
+    w.put<u32>(machine.l3LatencyCycles);
+    w.put<u32>(machine.memLatencyCycles);
+    w.put<u32>(machine.predictorHistoryBits);
+    wrCacheParams(w, machine.caches.l1i);
+    wrCacheParams(w, machine.caches.l1d);
+    wrCacheParams(w, machine.caches.l2);
+    wrCacheParams(w, machine.caches.l3);
+
+    w.put<u64>(warmupChunks);
+    w.put<double>(cost.wholeRate);
+    w.put<double>(cost.regionalRate);
+    w.put<double>(cost.pinballStartup);
+    w.put<double>(cost.loggerSlowdown);
+    w.put<double>(cost.nativeRate);
+}
+
+bool
+ExperimentConfig::deserialize(ByteReader &r, ExperimentConfig &out)
+{
+    u32 version = 0;
+    if (!rdGet(r, version) || version != kConfigWireVersion)
+        return false;
+
+    u64 sliceInstrs = 0;
+    i32 restarts = 0, maxIters = 0;
+    if (!rdGet(r, out.simpoint.maxK) || !rdGet(r, sliceInstrs) ||
+        !rdGet(r, out.simpoint.projectionDim) ||
+        !rdGet(r, out.simpoint.bicFraction) ||
+        !rdGet(r, restarts) || !rdGet(r, maxIters) ||
+        !rdGet(r, out.simpoint.sampleCap) ||
+        !rdGet(r, out.simpoint.mergeThreshold) ||
+        !rdGet(r, out.simpoint.seed))
+        return false;
+    out.simpoint.sliceInstrs = sliceInstrs;
+    out.simpoint.restarts = restarts;
+    out.simpoint.maxIters = maxIters;
+
+    u8 strategy = 0, allwarm = 0;
+    if (!rdGet(r, strategy) || strategy >= kNumStrategies ||
+        !rdGet(r, out.sampling.smarts.k) ||
+        !rdGet(r, out.sampling.smarts.munit) ||
+        !rdGet(r, out.sampling.smarts.wunit) || !rdGet(r, allwarm))
+        return false;
+    out.sampling.strategy = static_cast<StrategyKind>(strategy);
+    out.sampling.smarts.allwarm = allwarm != 0;
+    if (!rdGet(r, out.sampling.stratified.strata) ||
+        !rdGet(r, out.sampling.stratified.budget) ||
+        !rdGet(r, out.sampling.stratified.pilotStride) ||
+        !rdGet(r, out.sampling.stratified.seed) ||
+        !rdGet(r, out.sampling.rankedSet.setSize) ||
+        !rdGet(r, out.sampling.rankedSet.cycles) ||
+        !rdGet(r, out.sampling.rankedSet.subsamples) ||
+        !rdGet(r, out.sampling.rankedSet.seed) ||
+        !rdGet(r, out.sampling.random.n) ||
+        !rdGet(r, out.sampling.random.seed) ||
+        !rdGet(r, out.sampling.stride.n))
+        return false;
+
+    if (!rdCacheParams(r, out.allcache.l1i) ||
+        !rdCacheParams(r, out.allcache.l1d) ||
+        !rdCacheParams(r, out.allcache.l2) ||
+        !rdCacheParams(r, out.allcache.l3))
+        return false;
+
+    if (!rdString(r, out.machine.model) ||
+        !rdGet(r, out.machine.frequencyGHz) ||
+        !rdGet(r, out.machine.dispatchWidth) ||
+        !rdGet(r, out.machine.robEntries) ||
+        !rdGet(r, out.machine.branchMispredictPenalty) ||
+        !rdGet(r, out.machine.l1LatencyCycles) ||
+        !rdGet(r, out.machine.l2LatencyCycles) ||
+        !rdGet(r, out.machine.l3LatencyCycles) ||
+        !rdGet(r, out.machine.memLatencyCycles) ||
+        !rdGet(r, out.machine.predictorHistoryBits) ||
+        !rdCacheParams(r, out.machine.caches.l1i) ||
+        !rdCacheParams(r, out.machine.caches.l1d) ||
+        !rdCacheParams(r, out.machine.caches.l2) ||
+        !rdCacheParams(r, out.machine.caches.l3))
+        return false;
+
+    if (!rdGet(r, out.warmupChunks) ||
+        !rdGet(r, out.cost.wholeRate) ||
+        !rdGet(r, out.cost.regionalRate) ||
+        !rdGet(r, out.cost.pinballStartup) ||
+        !rdGet(r, out.cost.loggerSlowdown) ||
+        !rdGet(r, out.cost.nativeRate))
+        return false;
+    return r.atEnd();
+}
+
 /** Single-flight state of one (benchmark, kind) node. */
 struct ArtifactGraph::Node
 {
@@ -374,12 +570,24 @@ ArtifactGraph::ArtifactGraph(ExperimentConfig cfg)
 
 ArtifactGraph::ArtifactGraph(
     ExperimentConfig cfg, std::shared_ptr<const ArtifactCache> cache)
+    : ArtifactGraph(std::move(cfg), std::move(cache), nullptr)
+{
+}
+
+ArtifactGraph::ArtifactGraph(
+    ExperimentConfig cfg, std::shared_ptr<const ArtifactCache> cache,
+    std::unique_ptr<ArtifactBackend> backend)
     : cfg(std::move(cfg)), cache(std::move(cache)),
+      backend(std::move(backend)),
       pipe(this->cfg.simpoint, this->cache)
 {
     SPLAB_ASSERT(this->cache != nullptr,
                  "artifact graph needs a cache instance (may be "
                  "disabled, not null)");
+    // Default backend from the environment: a service client when
+    // SPLAB_SERVICE names a daemon socket, local otherwise.
+    if (!this->backend)
+        this->backend = makeBackend(this->cache, this->cfg);
 }
 
 ArtifactGraph::~ArtifactGraph() = default;
@@ -517,45 +725,6 @@ ArtifactGraph::computeValue(const std::string &name,
                 static_cast<int>(static_cast<u8>(kind)));
 }
 
-namespace
-{
-
-/**
- * Materialize a shared-kind artifact from its ref blob: read the
- * sub-blob content hashes, load each shared sub-blob, concatenate
- * their raw bytes and deserialize as usual.  Returns false (after
- * bumping "graph.shared_blob_fallbacks") when any sub-blob is
- * missing or corrupt — the caller then recomputes and re-stores,
- * which heals the damaged sub-blob file.
- */
-bool
-loadSharedValue(const ArtifactCache &cache, ArtifactKind kind,
-                ByteReader &ref, ArtifactValue &out)
-{
-    static obs::Counter &fallbacks =
-        obs::counter("graph.shared_blob_fallbacks",
-                     "shared-blob refs with a missing or corrupt "
-                     "sub-blob (artifact recomputed)");
-
-    u64 n = ref.get<u64>();
-    ByteWriter assembled;
-    for (u64 i = 0; i < n; ++i) {
-        u64 h = ref.get<u64>();
-        CacheOutcome sub = cache.loadShared(h);
-        if (!sub.hit()) {
-            fallbacks.add();
-            return false;
-        }
-        std::vector<u8> bytes = sub->getRaw(sub->remaining());
-        assembled.putRaw(bytes.data(), bytes.size());
-    }
-    ByteReader r(assembled.bytes());
-    out = deserializeArtifact(kind, r);
-    return true;
-}
-
-} // namespace
-
 const ArtifactValue &
 ArtifactGraph::ensure(const std::string &name, ArtifactKind kind)
 {
@@ -589,44 +758,37 @@ ArtifactGraph::ensure(const std::string &name, ArtifactKind kind)
                        (kind != ArtifactKind::WholeFused ||
                         fusedPersistEnabled());
         bool loaded = false;
-        u64 key = 0;
-        std::string family = blobFamily(kind, cfg);
-        if (persist && cache->enabled()) {
-            key = artifactKey(name, kind);
-            CacheOutcome got = cache->load(family, key);
-            if (got.hit()) {
-                if (info.shared)
-                    loaded = loadSharedValue(*cache, kind, *got, v);
-                else {
-                    v = deserializeArtifact(kind, *got);
-                    loaded = true;
-                }
-                if (loaded)
-                    hits.add();
+        ArtifactRequest req{name, kind, blobFamily(kind, cfg), 0,
+                            info.shared};
+        // The backend seam (artifact_backend.hh) decides *where*
+        // persisted bytes come from: the local ArtifactCache
+        // (including shared-sub-blob assembly) or a splabd daemon
+        // with local fallback.  Either way fetch yields exactly the
+        // serializeArtifact payload, so the value round-trips
+        // identically.
+        if (persist && backend->active()) {
+            req.key = artifactKey(name, kind);
+            std::vector<u8> bytes;
+            if (backend->fetch(req, bytes)) {
+                ByteReader r(std::move(bytes));
+                v = deserializeArtifact(kind, r);
+                loaded = true;
+                hits.add();
             }
         }
         if (!loaded) {
             v = computeValue(name, kind);
             computed.add();
-            if (persist && cache->enabled()) {
+            if (persist && backend->active()) {
                 ByteWriter w;
                 serializeArtifact(w, v);
-                if (info.shared) {
-                    // Ref blob: sub-blob count + content hashes.
-                    // The sub-blobs themselves dedup against any
-                    // already-stored identical bytes (the fused node
-                    // and its projections address the same ones).
-                    const std::vector<u8> &raw = w.bytes();
-                    ByteWriter ref;
-                    auto ranges = sharedRanges(kind, raw.size());
-                    ref.put<u64>(ranges.size());
-                    for (auto [off, len] : ranges)
-                        ref.put<u64>(cache->storeShared(
-                            raw.data() + off, len));
-                    cache->store(family, key, ref);
-                } else {
-                    cache->store(family, key, w);
-                }
+                backend->publish(
+                    req, w.bytes(),
+                    info.shared
+                        ? sharedRanges(kind, w.bytes().size())
+                        : std::vector<
+                              std::pair<std::size_t,
+                                        std::size_t>>{});
             }
         }
     } catch (...) {
@@ -643,6 +805,16 @@ ArtifactGraph::ensure(const std::string &name, ArtifactKind kind)
     n.state = Node::Ready;
     n.cv.notify_all();
     return n.value;
+}
+
+std::vector<u8>
+ArtifactGraph::ensureSerialized(const std::string &name,
+                                ArtifactKind kind)
+{
+    const ArtifactValue &v = ensure(name, kind);
+    ByteWriter w;
+    serializeArtifact(w, v);
+    return w.bytes();
 }
 
 const BenchmarkSpec &

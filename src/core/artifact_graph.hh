@@ -218,6 +218,16 @@ struct ExperimentConfig
 
     /** Dump the configuration into a run manifest. */
     void describe(obs::RunManifest &m) const;
+
+    /**
+     * Field-wise wire serialization (leading format version), so a
+     * service client can ship its exact experiment configuration to
+     * the daemon.  deserialize() is defensive — bounds-checked,
+     * false on truncation or a version mismatch, never fatal — as
+     * the bytes arrive over a socket.
+     */
+    void serialize(ByteWriter &w) const;
+    static bool deserialize(ByteReader &r, ExperimentConfig &out);
 };
 
 /** The artifact kinds, in topological (dependency) order. */
@@ -277,6 +287,8 @@ void serializeArtifact(ByteWriter &w, const ArtifactValue &v);
 ArtifactValue deserializeArtifact(ArtifactKind k, ByteReader &r);
 /// @}
 
+class ArtifactBackend; // see artifact_backend.hh
+
 /**
  * Content-addressed, cross-benchmark-parallel experiment core.
  *
@@ -293,6 +305,16 @@ class ArtifactGraph
     /** Share an externally owned cache (see PinPointsPipeline). */
     ArtifactGraph(ExperimentConfig cfg,
                   std::shared_ptr<const ArtifactCache> cache);
+
+    /**
+     * Additionally pin the artifact backend instead of deriving it
+     * from SPLAB_SERVICE (artifact_backend.hh: the splabd daemon
+     * passes makeLocalBackend so its own graphs never try to
+     * connect back to the daemon's socket).
+     */
+    ArtifactGraph(ExperimentConfig cfg,
+                  std::shared_ptr<const ArtifactCache> cache,
+                  std::unique_ptr<ArtifactBackend> backend);
 
     ~ArtifactGraph(); // out-of-line: Node is incomplete here
 
@@ -360,6 +382,15 @@ class ArtifactGraph
     u64 artifactKey(const std::string &name, ArtifactKind kind);
 
     /**
+     * ensure() + serializeArtifact: the artifact's cache-blob payload
+     * bytes.  This is what the splabd daemon streams to clients (and
+     * what a RemoteBackend fetch returns), so daemon-served and
+     * locally computed artifacts are byte-identical by construction.
+     */
+    std::vector<u8> ensureSerialized(const std::string &name,
+                                     ArtifactKind kind);
+
+    /**
      * Compute @p targets for every benchmark in @p benchmarks,
      * fanning (benchmark x artifact) tasks over the global thread
      * pool (SPLAB_THREADS).  Tasks are issued in topological kind
@@ -395,6 +426,7 @@ class ArtifactGraph
 
     ExperimentConfig cfg;
     std::shared_ptr<const ArtifactCache> cache;
+    std::unique_ptr<ArtifactBackend> backend; ///< never null
     PinPointsPipeline pipe;
 
     std::mutex registryMtx; ///< guards the node map only

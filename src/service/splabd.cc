@@ -1,0 +1,54 @@
+/**
+ * @file
+ * splabd — the artifact-graph service daemon.
+ *
+ * Usage:
+ *     splabd <socket-path>
+ *
+ * Serves artifact requests on <socket-path> from the cache named by
+ * SPLAB_CACHE (budgeted by SPLAB_CACHE_MAX_BYTES), until SIGINT /
+ * SIGTERM or a client Shutdown request.  Point bench clients at it
+ * with SPLAB_SERVICE=<socket-path>.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "service/daemon.hh"
+#include "support/logging.hh"
+
+namespace
+{
+
+std::atomic<bool> gInterrupted{false};
+
+void
+onSignal(int)
+{
+    gInterrupted.store(true);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <socket-path>\n", argv[0]);
+        return 2;
+    }
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    splab::service::ServiceDaemon daemon(argv[1]);
+    if (!daemon.start())
+        return 1;
+    while (!gInterrupted.load() && !daemon.shutdownRequested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    daemon.stop();
+    SPLAB_INFORM("splabd: stopped");
+    return 0;
+}

@@ -37,12 +37,29 @@
  *                    of the batch accumulate kernels (see
  *                    isa/accumulate.hh).  Default on; scalar and
  *                    SIMD results are bit-identical.
+ *  - SPLAB_SERVICE : path of a splabd artifact-service Unix-domain
+ *                    socket.  When set, every ArtifactGraph becomes
+ *                    a service client: persisted artifacts are
+ *                    requested from the shared daemon instead of
+ *                    computed locally, with transparent fallback to
+ *                    the local path when no daemon answers (see
+ *                    core/artifact_backend.hh).  Unset/empty =
+ *                    local-only (today's behaviour).
+ *  - SPLAB_CACHE_MAX_BYTES: size budget for the on-disk artifact
+ *                    cache.  When the resident bytes (artifact blobs
+ *                    plus shared sub-blobs) exceed the budget after
+ *                    a store, least-recently-used artifacts are
+ *                    evicted; shared sub-blobs are ref-counted and
+ *                    reclaimed only when their last referencing
+ *                    artifact goes.  0 or unset = unbounded.
  */
 
 #ifndef SPLAB_SUPPORT_ENV_HH
 #define SPLAB_SUPPORT_ENV_HH
 
 #include <string>
+
+#include "types.hh"
 
 namespace splab
 {
@@ -61,6 +78,15 @@ double workloadScale();
 
 /** Artifact cache directory (SPLAB_CACHE); empty = disabled. */
 std::string artifactCacheDir();
+
+/** Artifact-cache size budget in bytes (SPLAB_CACHE_MAX_BYTES);
+ *  0 = unbounded.  Re-read per call so tests can toggle it. */
+u64 cacheMaxBytes();
+
+/** Artifact-service daemon socket path (SPLAB_SERVICE); empty =
+ *  no daemon, local-only artifact resolution.  Re-read per call so
+ *  tests can point individual graphs at scratch daemons. */
+std::string servicePath();
 
 /** Whether the fused whole-run artifact is persisted to the disk
  *  cache (SPLAB_FUSED_PERSIST; default on). */

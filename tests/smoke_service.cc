@@ -1,0 +1,181 @@
+/**
+ * @file
+ * CI smoke check for daemon mode: hosts a ServiceDaemon in-process,
+ * runs a bench binary (argv[1]) against it as a client, and checks
+ * the two service-mode guarantees end to end:
+ *
+ *  - daemon-off / daemon-on byte identity: a client run with
+ *    SPLAB_SERVICE set emits exactly the CSV a plain local run does;
+ *  - global request coalescing: two *concurrent* cold clients cause
+ *    exactly the daemon-side computation one cold client causes
+ *    (counter-asserted per artifact node), and both get identical
+ *    bytes.
+ *
+ * Hosting the daemon in this process makes its graph.nodes_computed
+ * counter directly observable; the bench clients are separate
+ * processes, so their counters (asserted via their run manifests)
+ * are cleanly client-side.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+#include "obs/counters.hh"
+#include "obs/json.hh"
+#include "service/daemon.hh"
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+int failures = 0;
+
+void
+check(bool ok, const char *what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "smoke_service: FAIL: %s\n", what);
+        ++failures;
+    }
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return "";
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return text;
+}
+
+/** counters.<name> of a parsed manifest, or 0 when absent. */
+splab::u64
+counterOf(const std::string &manifestText, const char *name)
+{
+    auto doc = splab::obs::parseJson(manifestText);
+    if (!doc)
+        return 0;
+    const splab::obs::JsonValue *counters = doc->find("counters");
+    if (!counters)
+        return 0;
+    const splab::obs::JsonValue *c = counters->find(name);
+    return c ? c->asU64() : 0;
+}
+
+/** One bench-client run; @p service empty = plain local run. */
+int
+runBench(const std::string &bin, const std::string &service)
+{
+    std::string cmd = "SPLAB_MANIFEST=1 SPLAB_CACHE= SPLAB_LOG=0 "
+                      "SPLAB_SCALE=0.05 SPLAB_THREADS=4 "
+                      "SPLAB_SERVICE=\"" +
+                      service + "\" \"" + bin + "\" > /dev/null";
+    return std::system(cmd.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: smoke_service <bench-binary>\n");
+        return 2;
+    }
+    // The daemon computes in this process: pin the same miniature
+    // scale the clients run at before anything resolves a benchmark.
+    setenv("SPLAB_SCALE", "0.05", 1);
+    setenv("SPLAB_LOG", "0", 1);
+
+    std::string bin = argv[1];
+    std::string sock = "/tmp/splab-smoke-" +
+                       std::to_string(getpid()) + ".sock";
+    splab::obs::Counter &computed =
+        splab::obs::counter("graph.nodes_computed");
+
+    // Reference: plain local run, no daemon, no cache.
+    check(runBench(bin, "") == 0, "local bench run exited non-zero");
+    std::string refCsv = slurp(bin + ".csv");
+    std::string refMani = slurp(bin + ".manifest.json");
+    check(!refCsv.empty(), "local CSV missing or empty");
+
+    // Phase 1: one cold client through a fresh daemon measures the
+    // daemon-side cost of a single request stream.
+    std::string dir1 = bin + ".smoke-service-cache1";
+    fs::remove_all(dir1);
+    splab::u64 single = 0;
+    {
+        splab::service::ServiceDaemon daemon(
+            sock, std::make_shared<const splab::ArtifactCache>(
+                      splab::ArtifactCache(dir1)));
+        check(daemon.start(), "daemon failed to start");
+        splab::u64 before = computed.value();
+        check(runBench(bin, sock) == 0,
+              "daemon-mode bench run exited non-zero");
+        single = computed.value() - before;
+        daemon.stop();
+    }
+    std::string daemonCsv = slurp(bin + ".csv");
+    std::string daemonMani = slurp(bin + ".manifest.json");
+    check(daemonCsv == refCsv,
+          "daemon-mode CSV differs from plain local CSV");
+    check(single > 0, "daemon computed nothing for a cold client");
+    check(counterOf(daemonMani, "service.client.remote_hits") > 0,
+          "client never fetched an artifact from the daemon");
+    check(counterOf(daemonMani, "graph.nodes_computed") <
+              counterOf(refMani, "graph.nodes_computed"),
+          "daemon-mode client simulated as much as a local run");
+
+    // Phase 2: two concurrent cold clients through a second fresh
+    // daemon must coalesce into exactly one simulation per artifact
+    // node — the same daemon-side computation phase 1 measured.
+    std::string dir2 = bin + ".smoke-service-cache2";
+    fs::remove_all(dir2);
+    std::string binA = bin + "-smoke-a";
+    std::string binB = bin + "-smoke-b";
+    fs::copy_file(bin, binA, fs::copy_options::overwrite_existing);
+    fs::copy_file(bin, binB, fs::copy_options::overwrite_existing);
+    {
+        splab::service::ServiceDaemon daemon(
+            sock, std::make_shared<const splab::ArtifactCache>(
+                      splab::ArtifactCache(dir2)));
+        check(daemon.start(), "second daemon failed to start");
+        splab::u64 before = computed.value();
+        int rcA = -1, rcB = -1;
+        std::thread a([&] { rcA = runBench(binA, sock); });
+        std::thread b([&] { rcB = runBench(binB, sock); });
+        a.join();
+        b.join();
+        check(rcA == 0 && rcB == 0,
+              "concurrent daemon-mode bench run exited non-zero");
+        check(computed.value() - before == single,
+              "two concurrent cold clients were not coalesced into "
+              "one simulation per artifact node");
+        daemon.stop();
+    }
+    check(slurp(binA + ".csv") == refCsv,
+          "first concurrent client CSV differs");
+    check(slurp(binB + ".csv") == refCsv,
+          "second concurrent client CSV differs");
+
+    for (const std::string &p :
+         {dir1, dir2, binA, binB, binA + ".csv", binB + ".csv",
+          binA + ".manifest.json", binB + ".manifest.json", sock})
+        fs::remove_all(p);
+
+    if (failures == 0)
+        std::printf("smoke_service: OK (%s)\n", bin.c_str());
+    return failures == 0 ? 0 : 1;
+}

@@ -1,22 +1,52 @@
 /**
  * @file
- * Unit tests for the behaviour-oblivious sampling baselines.
+ * Unit tests for the behaviour-oblivious sampling baselines, driven
+ * through the SamplingStrategy registry ("stride" and "random",
+ * src/sampling/strategies.hh).  The expectations are the historical
+ * ones from the retired simpoint/baselines.hh free functions —
+ * SMARTS-style first-sample-at-stride/2, equal 1/n weights, unique
+ * in-range random slices — asserting that the registry strategies
+ * reproduce those bytes exactly.
  */
 
 #include <gtest/gtest.h>
 
 #include <set>
 
-#include "simpoint/baselines.hh"
+#include "sampling/strategies.hh"
 
 namespace splab
 {
 namespace
 {
 
+/** Evenly-spaced n-sample selection as a SimPointResult (the
+ *  historical systematicSample shape). */
+SimPointResult
+strideSample(u64 totalSlices, ICount sliceInstrs, u32 n)
+{
+    StrategyInputs in{nullptr, totalSlices, sliceInstrs};
+    StrideConfig cfg;
+    cfg.n = n;
+    return simPointsFromRegions(StrideStrategy(cfg).select(in));
+}
+
+/** Uniform random n-sample selection as a SimPointResult (the
+ *  historical randomSample shape). */
+SimPointResult
+randomSampleViaRegistry(u64 totalSlices, ICount sliceInstrs, u32 n,
+                        u64 seed)
+{
+    StrategyInputs in{nullptr, totalSlices, sliceInstrs};
+    RandomConfig cfg;
+    cfg.n = n;
+    cfg.seed = seed;
+    return simPointsFromRegions(RandomStrategy(cfg).select(in));
+}
+
 TEST(Systematic, EvenSpacingAndEqualWeights)
 {
-    SimPointResult r = systematicSample(1000, 10000, 10);
+    SimPointResult r = strideSample(1000, 10000, 10);
     ASSERT_EQ(r.points.size(), 10u);
     EXPECT_NEAR(r.totalWeight(), 1.0, 1e-12);
     // SMARTS-style offset: first sample at stride/2.
@@ -29,7 +59,7 @@ TEST(Systematic, EvenSpacingAndEqualWeights)
 
 TEST(Systematic, ClampsToRunLength)
 {
-    SimPointResult r = systematicSample(5, 10000, 10);
+    SimPointResult r = strideSample(5, 10000, 10);
     EXPECT_EQ(r.points.size(), 5u);
     for (const auto &p : r.points)
         EXPECT_LT(p.slice, 5u);
@@ -37,7 +67,7 @@ TEST(Systematic, ClampsToRunLength)
 
 TEST(Systematic, SingleSampleLandsMidRun)
 {
-    SimPointResult r = systematicSample(1000, 10000, 1);
+    SimPointResult r = strideSample(1000, 10000, 1);
     ASSERT_EQ(r.points.size(), 1u);
     EXPECT_EQ(r.points[0].slice, 500u);
     EXPECT_DOUBLE_EQ(r.points[0].weight, 1.0);
@@ -45,8 +75,8 @@ TEST(Systematic, SingleSampleLandsMidRun)
 
 TEST(Random, UniqueInRangeAndDeterministic)
 {
-    SimPointResult a = randomSample(1000, 10000, 25, 7);
-    SimPointResult b = randomSample(1000, 10000, 25, 7);
+    SimPointResult a = randomSampleViaRegistry(1000, 10000, 25, 7);
+    SimPointResult b = randomSampleViaRegistry(1000, 10000, 25, 7);
     ASSERT_EQ(a.points.size(), 25u);
     std::set<SliceIndex> seen;
     for (const auto &p : a.points) {
@@ -61,8 +91,8 @@ TEST(Random, UniqueInRangeAndDeterministic)
 
 TEST(Random, SeedChangesSelection)
 {
-    SimPointResult a = randomSample(1000, 10000, 25, 7);
-    SimPointResult b = randomSample(1000, 10000, 25, 8);
+    SimPointResult a = randomSampleViaRegistry(1000, 10000, 25, 7);
+    SimPointResult b = randomSampleViaRegistry(1000, 10000, 25, 8);
     int same = 0;
     for (std::size_t i = 0; i < a.points.size(); ++i)
         same += a.points[i].slice == b.points[i].slice;
@@ -71,7 +101,7 @@ TEST(Random, SeedChangesSelection)
 
 TEST(Random, FullCoverageWhenBudgetEqualsRun)
 {
-    SimPointResult r = randomSample(20, 10000, 20, 3);
+    SimPointResult r = randomSampleViaRegistry(20, 10000, 20, 3);
     EXPECT_EQ(r.points.size(), 20u);
     std::set<SliceIndex> seen;
     for (const auto &p : r.points)
@@ -82,8 +112,8 @@ TEST(Random, FullCoverageWhenBudgetEqualsRun)
 TEST(Baselines, PointsSortedBySlice)
 {
     for (const SimPointResult &r :
-         {systematicSample(500, 10000, 7),
-          randomSample(500, 10000, 7, 42)}) {
+         {strideSample(500, 10000, 7),
+          randomSampleViaRegistry(500, 10000, 7, 42)}) {
         for (std::size_t i = 1; i < r.points.size(); ++i)
             EXPECT_LT(r.points[i - 1].slice, r.points[i].slice);
     }

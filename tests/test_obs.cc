@@ -283,6 +283,31 @@ TEST(ObsManifest, SchemaRoundTrips)
     obs::clearSpans();
 }
 
+TEST(ObsManifest, CarriesArtifactCacheCounterFamily)
+{
+    // Constructing a cache registers the full hygiene counter family
+    // eagerly, so every run manifest's deterministic section carries
+    // the counts (zeros included) — cross-run diffs and the service
+    // smoke test key off them.
+    std::string dir = testing::TempDir() + "/obs_manifest_cache";
+    std::filesystem::remove_all(dir);
+    ArtifactCache cache(dir);
+
+    obs::RunManifest m("test_obs");
+    auto det = obs::parseJson(m.renderDeterministic());
+    ASSERT_TRUE(det.has_value());
+    const obs::JsonValue *counters = det->find("counters");
+    ASSERT_NE(counters, nullptr);
+    for (const char *name :
+         {"artifact_cache.hits", "artifact_cache.misses",
+          "artifact_cache.corrupt", "artifact_cache.evictions",
+          "artifact_cache.bytes_read", "artifact_cache.bytes_written",
+          "artifact_cache.bytes_evicted",
+          "artifact_cache.blob_share_hits",
+          "artifact_cache.shared_blobs_reclaimed"})
+        EXPECT_NE(counters->find(name), nullptr) << name;
+}
+
 TEST(ObsCache, OutcomeDistinguishesHitMissCorruptDisabled)
 {
     std::string dir = testing::TempDir() + "/obs_cache_test";
@@ -301,9 +326,12 @@ TEST(ObsCache, OutcomeDistinguishesHitMissCorruptDisabled)
     EXPECT_EQ(hit->get<u64>(), 0xfeedULL);
 
     // Truncate the stored blob: the checksum no longer validates and
-    // the lookup must say Corrupt, not Hit or Miss.
+    // the lookup must say Corrupt, not Hit or Miss.  Skip the
+    // cache's index files — only the artifact blob is the target.
     std::size_t corrupted = 0;
     for (const auto &ent : std::filesystem::directory_iterator(dir)) {
+        if (ent.path().filename().string().rfind("index.", 0) == 0)
+            continue;
         std::filesystem::resize_file(ent.path(), 3);
         ++corrupted;
     }

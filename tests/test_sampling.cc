@@ -1,9 +1,9 @@
 /**
  * @file
  * The SamplingStrategy contracts: exact rational weight
- * normalization, registry round-trips, shim equivalence with the
- * historical baselines, per-strategy selection shape, determinism
- * and thread-count invariance through the artifact graph, Regions
+ * normalization, registry round-trips, per-strategy selection
+ * shape, determinism and thread-count invariance through the
+ * artifact graph, Regions
  * artifact-key field sensitivity for every new knob, and cold/warm
  * byte-equality of the per-strategy node families.
  */
@@ -18,7 +18,6 @@
 #include "core/artifact_graph.hh"
 #include "obs/counters.hh"
 #include "sampling/strategies.hh"
-#include "simpoint/baselines.hh"
 #include "support/serialize.hh"
 #include "support/thread_pool.hh"
 
@@ -158,26 +157,6 @@ TEST(StrategyRegistry, ActiveHashSaltedPerStrategy)
         hashes.insert(cfg.activeHash(sp));
     }
     EXPECT_EQ(hashes.size(), kNumStrategies);
-}
-
-TEST(BaselineShim, ForwardsToTheRegistry)
-{
-    // The deprecated free functions and the registry strategies are
-    // the same code path — byte-identical results.
-    StrategyInputs in{nullptr, 1000, 10000};
-
-    StrideConfig sc;
-    sc.n = 10;
-    EXPECT_EQ(simpointBytes(systematicSample(1000, 10000, 10)),
-              simpointBytes(
-                  simPointsFromRegions(StrideStrategy(sc).select(in))));
-
-    RandomConfig rc;
-    rc.n = 25;
-    rc.seed = 7;
-    EXPECT_EQ(simpointBytes(randomSample(1000, 10000, 25, 7)),
-              simpointBytes(
-                  simPointsFromRegions(RandomStrategy(rc).select(in))));
 }
 
 TEST(SmartsShape, SystematicUnitsWithWarmupPrescription)
