@@ -28,6 +28,7 @@
 #include "core/runs.hh"
 #include "isa/accumulate.hh"
 #include "pin/engine.hh"
+#include "support/env.hh"
 #include "support/thread_pool.hh"
 #include "pin/tools/allcache.hh"
 #include "pin/tools/bbv_tool.hh"
@@ -856,10 +857,87 @@ main(int, char **argv)
                    simdSame ? "yes" : "NO"});
     simdTable.print();
 
+    // ---- Part 6: single consumer vs per-tool lanes ----
+    // The pipelined fused pass with one consumer delivering to all
+    // five tools serially (SPLAB_TOOL_LANES=0) vs one consumer lane
+    // per tool (=1).  The pool is sized so every tool gets its own
+    // lane with producers to spare.  As with Part 4, the wall win
+    // tracks physical cores; byte-equality is the contract.
+    const std::size_t laneThreads =
+        std::max<std::size_t>(parallelThreads(), 8);
+    ThreadPool::setGlobalThreads(laneThreads);
+    const char *pipeEnvOld6 = std::getenv("SPLAB_GEN_PIPELINE");
+    const char *laneEnvOld = std::getenv("SPLAB_TOOL_LANES");
+    setenv("SPLAB_GEN_PIPELINE", "1", 1);
+    const std::vector<std::string> laneBenches(
+        benches.begin(),
+        benches.begin() + std::min<std::size_t>(3, benches.size()));
+    double laneOffSec = 0.0, laneOnSec = 0.0;
+    bool laneSame = true;
+    for (const std::string &name : laneBenches) {
+        BenchmarkSpec spec = benchmarkByName(name);
+        const ICount slice = cfg.simpoint.sliceInstrs;
+
+        FusedWholeResult off, on;
+        setenv("SPLAB_TOOL_LANES", "0", 1);
+        double os = wallSeconds([&] {
+            off = measureWholeFused(spec, cfg.allcache, cfg.machine,
+                                    slice);
+        });
+        setenv("SPLAB_TOOL_LANES", "1", 1);
+        double ls = wallSeconds([&] {
+            on = measureWholeFused(spec, cfg.allcache, cfg.machine,
+                                   slice);
+        });
+
+        bool same =
+            cacheBytesNoWall(off.cache) == cacheBytesNoWall(on.cache) &&
+            timingBytesNoWall(off.timing) ==
+                timingBytesNoWall(on.timing) &&
+            bbvsEqual(off.bbvs, on.bbvs);
+        if (!same)
+            std::printf("[FAIL] tool lanes != single consumer on "
+                        "%s\n",
+                        name.c_str());
+        laneSame = laneSame && same;
+        laneOffSec += os;
+        laneOnSec += ls;
+        csv.row({"toollanes", name, "", fmt(os, 4), fmt(ls, 4),
+                 fmt(ls > 0.0 ? os / ls : 0.0, 3),
+                 same ? "1" : "0"});
+    }
+    if (pipeEnvOld6)
+        setenv("SPLAB_GEN_PIPELINE", pipeEnvOld6, 1);
+    else
+        unsetenv("SPLAB_GEN_PIPELINE");
+    if (laneEnvOld)
+        setenv("SPLAB_TOOL_LANES", laneEnvOld, 1);
+    else
+        unsetenv("SPLAB_TOOL_LANES");
+    ThreadPool::setGlobalThreads(0);
+    identical = identical && laneSame;
+    double laneSpeedup = laneOnSec > 0.0 ? laneOffSec / laneOnSec : 0.0;
+
+    TableWriter laneTable(
+        "Tool lanes, " + std::to_string(laneBenches.size()) +
+        " benchmarks (pipelined fused pass, " +
+        std::to_string(laneThreads) + " threads)");
+    laneTable.header(
+        {"consumer", "wall (s)", "speedup", "identical"});
+    laneTable.row(
+        {"single", fmt(laneOffSec, 3), fmtX(1.0, 2), "-"});
+    laneTable.row({"per-tool lanes", fmt(laneOnSec, 3),
+                   fmtX(laneSpeedup, 2), laneSame ? "yes" : "NO"});
+    laneTable.print();
+
     bench::saveCsv(csv, argv[0]);
 
-    const char *jsonPath = "BENCH_engine.json";
-    if (std::FILE *f = std::fopen(jsonPath, "w")) {
+    // Default into the CWD (the build tree under ctest); set
+    // SPLAB_BENCH_OUT to publish straight to the repo root so the
+    // committed baseline tracks the perf trajectory.
+    const std::string jsonPath =
+        envString("SPLAB_BENCH_OUT", "BENCH_engine.json");
+    if (std::FILE *f = std::fopen(jsonPath.c_str(), "w")) {
         std::fprintf(
             f,
             "{\"bench\":\"micro_engine\",\"benchmarks\":%zu,"
@@ -878,6 +956,10 @@ main(int, char **argv)
             "\"genpipe_threads\":%zu,"
             "\"genpipe_off_sec\":%.4f,\"genpipe_on_sec\":%.4f,"
             "\"genpipe_speedup\":%.3f,"
+            "\"lanes_benchmarks\":%zu,"
+            "\"lanes_threads\":%zu,"
+            "\"lanes_off_sec\":%.4f,\"lanes_on_sec\":%.4f,"
+            "\"lanes_speedup\":%.3f,"
             "\"simd_compiled\":%s,"
             "\"simd_scalar_sec\":%.4f,\"simd_sec\":%.4f,"
             "\"simd_speedup\":%.3f,\"identical\":%s}\n",
@@ -887,10 +969,12 @@ main(int, char **argv)
             dispatchSpeedup, kernelBenches.size(), kernelBlockSec,
             kernelBatchSec, kernelSpeedup, pipeBenches.size(),
             pipeThreads, pipeOffSec, pipeOnSec, pipeSpeedup,
+            laneBenches.size(), laneThreads, laneOffSec, laneOnSec,
+            laneSpeedup,
             simdAccumulateCompiled() ? "true" : "false", scalarSec,
             simdSec, simdSpeedup, identical ? "true" : "false");
         std::fclose(f);
-        std::printf("wrote %s\n", jsonPath);
+        std::printf("wrote %s\n", jsonPath.c_str());
     }
 
     if (!identical) {

@@ -111,9 +111,12 @@ measureWholeFused(const BenchmarkSpec &spec,
     }
     // This top-level whole-run pass is where the engine's generation
     // pipeline engages (SPLAB_GEN_PIPELINE, pin/engine.hh): chunk
-    // generation overlaps tool dispatch across the pool.  The
-    // regional replays below run inside a parallelFor and therefore
-    // take the serial generation path on their own workers.
+    // generation overlaps tool dispatch across the pool, and with
+    // several tools attached the consumer side further splits into
+    // per-tool lanes (SPLAB_TOOL_LANES) — cache, mix, branch, core
+    // and BBV each consume on their own worker.  The regional
+    // replays below run inside a parallelFor and therefore take the
+    // serial generation path on their own workers.
     ICount instrs = engine.runWhole(wl);
 
     double wall = secondsSince(t0);

@@ -13,7 +13,10 @@
  *    cross-machine diffable records.
  *  - Gauge: last-write-wins level (thread count, cache dir state).
  *    Gauges MAY be scheduling- or environment-dependent, so
- *    manifests report them only in the volatile section.
+ *    manifests report them only in the volatile section.  Pipeline
+ *    health families (`genpipe.*`, `toollanes.*` — stall episodes,
+ *    reorder-window footprints) are gauges for exactly this reason:
+ *    identical results, scheduling-dependent stall counts.
  *
  * Hot call sites cache the reference:
  *     static obs::Counter &c = obs::counter("pin.windows");

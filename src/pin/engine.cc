@@ -1,6 +1,7 @@
 #include "engine.hh"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <memory>
@@ -22,28 +23,43 @@ namespace
  *  outweighs the overlap; run serial. */
 constexpr u64 kMinPipelineChunks = 4;
 
+/** Per-lane stall gauges are registered for the first this many
+ *  lanes (the fused tool stack has five; more lanes still run, they
+ *  just fold into the summed gauge only). */
+constexpr std::size_t kMaxLaneGauges = 8;
+
 /** Shared state of one pipelined run.  The mutex orders every slot
- *  handoff, so a consumer that observed ready == true reads batch
+ *  handoff, so a lane that observed ready == true reads batch
  *  contents the producer wrote before publishing (and vice versa for
  *  slot reuse). */
 struct PipeState
 {
     std::mutex mtx;
-    std::condition_variable slotFree;  ///< producers: window advanced
-    std::condition_variable slotReady; ///< consumer: a batch landed
+    std::condition_variable slotFree;  ///< producers: a slot retired
+    std::condition_variable slotReady; ///< lanes: a batch landed
     std::atomic<u64> nextChunk{0};     ///< producer claim counter
-    u64 delivered = 0;                 ///< chunks handed to tools
-    bool aborted = false;              ///< a role threw; all bail out
-    u64 producerStalls = 0;            ///< blocking episodes, summed
-    u64 consumerStalls = 0;
+    u64 retired = 0;    ///< chunks finished by *every* lane
+    u64 published = 0;  ///< chunks handed to the ring
+    u64 peakInFlight = 0; ///< max published - retired observed
+    bool aborted = false; ///< a role threw; all bail out
+    u64 producerStalls = 0; ///< blocking episodes, summed
+    std::vector<u64> laneStalls; ///< blocking episodes per lane
 };
 
-/** One reorder-window slot: a reusable arena plus its full/empty
- *  flag (guarded by PipeState::mtx). */
+/** One reorder-window slot: a reusable arena, the chunk occupying
+ *  it and its full/empty flag (all guarded by PipeState::mtx), plus
+ *  the lane refcount that retires the arena back to the ring. */
 struct PipeSlot
 {
     EventBatch batch;
+    u64 chunk = 0;
     bool ready = false;
+    /** Lanes that have not yet finished this slot.  Decremented with
+     *  acq_rel outside the mutex: the non-last lanes' batch reads
+     *  happen-before the last lane's decrement, which happens-before
+     *  the retirement it performs under the mutex — the edge that
+     *  lets a producer overwrite the arena safely. */
+    std::atomic<u32> pending{0};
 };
 
 bool
@@ -108,11 +124,24 @@ Engine::runPipelined(SyntheticWorkload &workload, u64 firstChunk,
 {
     obs::TraceSpan span("engine.pipeline");
 
-    const std::size_t producers = parallelThreads() - 1;
+    // Consumer lanes: ideally one per attached tool, otherwise the
+    // tools are grouped round-robin onto as many lanes as the pool
+    // can afford while always leaving at least one producer.
+    // nLanes == 1 is exactly the classic single-consumer pipeline.
+    // Lane count is a pure scheduling choice: every tool still sees
+    // each chunk in order from one thread, so results cannot depend
+    // on it.
+    const std::size_t poolSize = parallelThreads();
+    std::size_t nLanes = 1;
+    if (toolLanesEnabled() && tools.size() >= 2)
+        nLanes = std::min(tools.size(), poolSize - 1);
+    const std::size_t producers = poolSize - nLanes;
     const u64 window = std::min<u64>(
-        std::max<u64>(2 * producers, 4), numChunks);
+        std::max<u64>({u64{2 * producers}, u64{2 * nLanes}, u64{4}}),
+        numChunks);
 
     PipeState st;
+    st.laneStalls.assign(nLanes, 0);
     std::vector<PipeSlot> ring(static_cast<std::size_t>(window));
 
     auto produce = [&] {
@@ -126,11 +155,11 @@ Engine::runPipelined(SyntheticWorkload &workload, u64 firstChunk,
                 return;
             {
                 std::unique_lock<std::mutex> lk(st.mtx);
-                if (!st.aborted && st.delivered + window <= c) {
+                if (!st.aborted && st.retired + window <= c) {
                     ++st.producerStalls;
                     st.slotFree.wait(lk, [&] {
                         return st.aborted ||
-                               st.delivered + window > c;
+                               st.retired + window > c;
                     });
                 }
                 if (st.aborted)
@@ -151,28 +180,54 @@ Engine::runPipelined(SyntheticWorkload &workload, u64 firstChunk,
             }
             {
                 std::lock_guard<std::mutex> lk(st.mtx);
+                slot.chunk = c;
+                slot.pending.store(static_cast<u32>(nLanes),
+                                   std::memory_order_relaxed);
                 slot.ready = true;
+                ++st.published;
+                u64 inFlight = st.published - st.retired;
+                if (inFlight > st.peakInFlight)
+                    st.peakInFlight = inFlight;
             }
-            st.slotReady.notify_one();
+            if (nLanes > 1)
+                st.slotReady.notify_all();
+            else
+                st.slotReady.notify_one();
         }
     };
 
-    auto consume = [&] {
+    auto consumeLane = [&](std::size_t lane) {
+        // This lane's tools, in attachment order — the relative
+        // order the single consumer would use for them.
+        std::vector<PinTool *> mine;
+        for (std::size_t t = lane; t < tools.size(); t += nLanes)
+            mine.push_back(tools[t]);
         for (u64 c = 0; c < numChunks; ++c) {
             PipeSlot &slot = ring[c % window];
             {
                 std::unique_lock<std::mutex> lk(st.mtx);
-                if (!st.aborted && !slot.ready) {
-                    ++st.consumerStalls;
-                    st.slotReady.wait(lk, [&] {
-                        return st.aborted || slot.ready;
-                    });
+                // ready alone is not enough with several lanes: the
+                // slot may still hold chunk c - window (this lane is
+                // done with it, a slower lane is not), so wait until
+                // it holds *this* chunk.
+                auto mineToRead = [&] {
+                    return st.aborted ||
+                           (slot.ready && slot.chunk == c);
+                };
+                if (!mineToRead()) {
+                    ++st.laneStalls[lane];
+                    st.slotReady.wait(lk, mineToRead);
                 }
                 if (st.aborted)
                     return;
             }
             try {
-                onBatch(slot.batch);
+                // Exactly one lane does the engine-level accounting,
+                // so totals match the single-consumer path.
+                if (lane == 0)
+                    accountBatch(slot.batch);
+                for (PinTool *t : mine)
+                    t->onBatch(slot.batch);
             } catch (...) {
                 {
                     std::lock_guard<std::mutex> lk(st.mtx);
@@ -182,31 +237,37 @@ Engine::runPipelined(SyntheticWorkload &workload, u64 firstChunk,
                 st.slotReady.notify_all();
                 throw;
             }
-            {
-                std::lock_guard<std::mutex> lk(st.mtx);
-                slot.ready = false;
-                ++st.delivered;
+            if (slot.pending.fetch_sub(
+                    1, std::memory_order_acq_rel) == 1) {
+                // Last lane out retires the arena back to the ring.
+                {
+                    std::lock_guard<std::mutex> lk(st.mtx);
+                    slot.ready = false;
+                    ++st.retired;
+                }
+                st.slotFree.notify_all();
             }
-            st.slotFree.notify_all();
         }
     };
 
-    // Role 0 = consumer (claimed first, normally by the submitting
-    // thread), roles 1..producers = producers.  Progress never needs
-    // more than {consumer, one producer} running concurrently: a
-    // producer that fills the window blocks until the consumer
-    // drains it, and roles return only when the run is exhausted, so
-    // late-waking workers just find less to do.
-    parallelFor(producers + 1, [&](std::size_t role) {
-        if (role == 0)
-            consume();
+    // Roles 0..nLanes-1 = consumer lanes (lane 0 claimed first,
+    // normally by the submitting thread), the rest producers.  The
+    // role count equals the pool size, so every role gets its own
+    // thread; progress never needs more than {one lane, one
+    // producer} running concurrently — a producer that fills the
+    // window blocks until every lane drains it, and roles return
+    // only when the run is exhausted, so late-waking workers just
+    // find less to do.
+    parallelFor(producers + nLanes, [&](std::size_t role) {
+        if (role < nLanes)
+            consumeLane(role);
         else
             produce();
     });
 
-    SPLAB_ASSERT(st.aborted || st.delivered == numChunks,
-                 "pipeline ended with ", st.delivered, " of ",
-                 numChunks, " chunks delivered");
+    SPLAB_ASSERT(st.aborted || st.retired == numChunks,
+                 "pipeline ended with ", st.retired, " of ",
+                 numChunks, " chunks retired");
 
     // Pipeline health stats are gauges, not counters: stall counts
     // and arena footprints depend on scheduling, and the manifest
@@ -214,14 +275,18 @@ Engine::runPipelined(SyntheticWorkload &workload, u64 firstChunk,
     std::size_t arenaBytes = 0;
     for (const PipeSlot &s : ring)
         arenaBytes += s.batch.capacityBytes();
+    u64 laneStallSum = 0;
+    for (u64 s : st.laneStalls)
+        laneStallSum += s;
 
     static std::atomic<u64> runsTotal{0}, prodStallsTotal{0},
         consStallsTotal{0}, peakArena{0};
     runsTotal.fetch_add(1, std::memory_order_relaxed);
     prodStallsTotal.fetch_add(st.producerStalls,
                               std::memory_order_relaxed);
-    consStallsTotal.fetch_add(st.consumerStalls,
-                              std::memory_order_relaxed);
+    if (nLanes == 1)
+        consStallsTotal.fetch_add(laneStallSum,
+                                  std::memory_order_relaxed);
     u64 prevPeak = peakArena.load(std::memory_order_relaxed);
     while (prevPeak < arenaBytes &&
            !peakArena.compare_exchange_weak(
@@ -240,12 +305,57 @@ Engine::runPipelined(SyntheticWorkload &workload, u64 firstChunk,
         .set(prodStallsTotal.load(std::memory_order_relaxed));
     obs::gauge("genpipe.consumer_stalls",
                "consumer blocking episodes waiting on a ready batch "
-               "(producer-bound), cumulative")
+               "(producer-bound), cumulative across single-consumer "
+               "runs")
         .set(consStallsTotal.load(std::memory_order_relaxed));
     obs::gauge("genpipe.peak_arena_bytes",
                "peak bytes held by in-flight batch arenas across "
                "pipelined runs")
         .set(peakArena.load(std::memory_order_relaxed));
+
+    // Tool-lane health: same volatile-section rules as genpipe.*.
+    static std::atomic<u64> laneRunsTotal{0}, laneStallsTotal{0},
+        peakInFlightMax{0};
+    static std::array<std::atomic<u64>, kMaxLaneGauges>
+        perLaneStallsTotal{};
+    if (nLanes > 1) {
+        laneRunsTotal.fetch_add(1, std::memory_order_relaxed);
+        laneStallsTotal.fetch_add(laneStallSum,
+                                  std::memory_order_relaxed);
+        u64 prevIF = peakInFlightMax.load(std::memory_order_relaxed);
+        while (prevIF < st.peakInFlight &&
+               !peakInFlightMax.compare_exchange_weak(
+                   prevIF, st.peakInFlight,
+                   std::memory_order_relaxed))
+            ;
+        for (std::size_t l = 0;
+             l < nLanes && l < kMaxLaneGauges; ++l) {
+            perLaneStallsTotal[l].fetch_add(
+                st.laneStalls[l], std::memory_order_relaxed);
+            obs::gauge("toollanes.lane" + std::to_string(l) +
+                           "_stalls",
+                       "lane " + std::to_string(l) +
+                           " blocking episodes waiting on a ready "
+                           "batch, cumulative")
+                .set(perLaneStallsTotal[l].load(
+                    std::memory_order_relaxed));
+        }
+    }
+    obs::gauge("toollanes.runs",
+               "pipelined runs with per-tool consumer lanes engaged")
+        .set(laneRunsTotal.load(std::memory_order_relaxed));
+    obs::gauge("toollanes.lanes",
+               "consumer lanes of the most recent pipelined run "
+               "(1 = single consumer)")
+        .set(nLanes);
+    obs::gauge("toollanes.lane_stalls",
+               "lane blocking episodes waiting on a ready batch, "
+               "summed over lanes, cumulative")
+        .set(laneStallsTotal.load(std::memory_order_relaxed));
+    obs::gauge("toollanes.peak_inflight_slots",
+               "peak ring slots simultaneously published and not "
+               "yet retired by every lane, across lane runs")
+        .set(peakInFlightMax.load(std::memory_order_relaxed));
 }
 
 void
@@ -258,7 +368,7 @@ Engine::onBlock(const BlockRecord &rec, const MemAccess *accs,
 }
 
 void
-Engine::onBatch(const EventBatch &batch)
+Engine::accountBatch(const EventBatch &batch)
 {
     static obs::Counter &batches =
         obs::counter("pin.batches", "event batches dispatched");
@@ -268,6 +378,12 @@ Engine::onBatch(const EventBatch &batch)
     batches.add();
     batchBlocks.add(batch.numBlocks());
     icount += batch.instrs();
+}
+
+void
+Engine::onBatch(const EventBatch &batch)
+{
+    accountBatch(batch);
     for (PinTool *t : tools)
         t->onBatch(batch);
 }

@@ -28,12 +28,23 @@ namespace splab
  * tool dispatch.  Producer workers generate chunks out of order into
  * a bounded ring of batch arenas — chunk state is a pure function of
  * (seed, chunk index), so any worker can generate any chunk — while
- * one consumer role delivers completed batches to the tools strictly
- * in chunk order.  Tool-visible state is therefore identical to the
+ * consumer lanes deliver completed batches to the tools strictly in
+ * chunk order.  Tool-visible state is therefore identical to the
  * serial path, byte for byte; the ring bound supplies backpressure so
  * at most O(threads) chunks are in flight.  Runs issued from inside a
  * parallel region (regional replays under a parallelFor) fall back to
  * the serial path automatically.
+ *
+ * Tool lanes: with several tools attached and pool workers to spare
+ * (and SPLAB_TOOL_LANES not 0), the consumer side splits into
+ * per-tool lanes — ideally one lane per tool, otherwise tools
+ * grouped round-robin onto the lanes the pool can afford — each
+ * walking the ring in chunk order on its own pool worker.  A batch's
+ * arena is retired for reuse only when every lane has finished it
+ * (atomic per-slot refcount).  Each tool still observes every chunk
+ * in order from exactly one thread, and per-tool state is disjoint,
+ * so per-tool results are byte-identical to the single-consumer
+ * delivery by construction.
  */
 class Engine : public EventSink
 {
@@ -75,6 +86,12 @@ class Engine : public EventSink
      *  pipeline; engages only when shouldPipeline() held. */
     void runPipelined(SyntheticWorkload &workload, u64 firstChunk,
                       u64 numChunks, bool needAddresses);
+
+    /** The engine's own per-batch accounting (dispatch counters +
+     *  the instruction count) — everything onBatch() does besides
+     *  the tool fan-out.  In lane mode exactly one lane calls this
+     *  per chunk, so totals match the serial path. */
+    void accountBatch(const EventBatch &batch);
 
     std::vector<PinTool *> tools;
     ICount icount = 0;

@@ -56,6 +56,15 @@ class PinTool
      * stream order, so block-granular tools need no changes.  Hot
      * tools override this to process the arrays directly (identical
      * event content — batching is a delivery reordering only).
+     *
+     * Threading contract: under the engine's tool lanes
+     * (SPLAB_TOOL_LANES, see pin/engine.hh) different tools may be
+     * served by different pool workers concurrently, but any one
+     * tool always observes every batch of a run in chunk order from
+     * exactly one thread, with the batch contents read-only for the
+     * duration of the call.  Tools therefore need no locking as
+     * long as they touch only their own state — which is also what
+     * keeps lane results byte-identical to serial delivery.
      */
     virtual void
     onBatch(const EventBatch &batch)

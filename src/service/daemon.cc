@@ -308,8 +308,10 @@ ServiceDaemon::handle(int fd)
             }
             sendOk(fd, payload);
         } else if (req.op == Op::Shutdown) {
-            sendOk(fd, {});
+            // Raise the flag before acking: a client returning from
+            // requestShutdown() must observe shutdownRequested().
             shutdownReq.store(true);
+            sendOk(fd, {});
             break;
         } else {
             sendError(fd, "unknown op");

@@ -3,20 +3,29 @@
  * splabd — the artifact-graph service daemon.
  *
  * Usage:
- *     splabd <socket-path>
+ *     splabd <socket-path>              serve requests
+ *     splabd --stats <socket-path>      print a running daemon's
+ *                                       counter snapshot
+ *     splabd --shutdown <socket-path>   ask a running daemon to stop
  *
- * Serves artifact requests on <socket-path> from the cache named by
- * SPLAB_CACHE (budgeted by SPLAB_CACHE_MAX_BYTES), until SIGINT /
- * SIGTERM or a client Shutdown request.  Point bench clients at it
- * with SPLAB_SERVICE=<socket-path>.
+ * Serve mode answers artifact requests on <socket-path> from the
+ * cache named by SPLAB_CACHE (budgeted by SPLAB_CACHE_MAX_BYTES),
+ * until SIGINT / SIGTERM or a client Shutdown request.  Point bench
+ * clients at it with SPLAB_SERVICE=<socket-path>.  The admin
+ * subcommands are plain service clients — they talk the same wire
+ * protocol as any bench and exit nonzero when no daemon answers.
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
 
+#include "service/client.hh"
 #include "service/daemon.hh"
 #include "support/logging.hh"
 
@@ -31,15 +40,69 @@ onSignal(int)
     gInterrupted.store(true);
 }
 
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <socket-path>\n"
+                 "       %s --stats <socket-path>\n"
+                 "       %s --shutdown <socket-path>\n",
+                 argv0, argv0, argv0);
+    return 2;
+}
+
+/** splabd --stats: pretty-print the daemon's counter snapshot. */
+int
+runStats(const std::string &socketPath)
+{
+    splab::service::ServiceClient client(socketPath);
+    auto stats = client.stats();
+    if (!stats) {
+        std::fprintf(stderr,
+                     "splabd: no daemon answering on %s\n",
+                     socketPath.c_str());
+        return 1;
+    }
+    std::size_t width = 0;
+    for (const auto &kv : *stats)
+        width = std::max(width, kv.first.size());
+    std::printf("daemon @ %s (%zu counters)\n", socketPath.c_str(),
+                stats->size());
+    for (const auto &kv : *stats)
+        std::printf("  %-*s %llu\n", static_cast<int>(width),
+                    kv.first.c_str(),
+                    static_cast<unsigned long long>(kv.second));
+    return 0;
+}
+
+/** splabd --shutdown: ask the daemon to stop. */
+int
+runShutdown(const std::string &socketPath)
+{
+    splab::service::ServiceClient client(socketPath);
+    if (!client.requestShutdown()) {
+        std::fprintf(stderr,
+                     "splabd: no daemon answering on %s\n",
+                     socketPath.c_str());
+        return 1;
+    }
+    std::printf("splabd: shutdown acknowledged by %s\n",
+                socketPath.c_str());
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc != 2) {
-        std::fprintf(stderr, "usage: %s <socket-path>\n", argv[0]);
-        return 2;
-    }
+    if (argc == 3 && std::strcmp(argv[1], "--stats") == 0)
+        return runStats(argv[2]);
+    if (argc == 3 && std::strcmp(argv[1], "--shutdown") == 0)
+        return runShutdown(argv[2]);
+    if (argc != 2 || argv[1][0] == '-')
+        return usage(argv[0]);
+
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
 

@@ -100,4 +100,10 @@ simdKernelsEnabled()
     return envLong("SPLAB_SIMD", 1) != 0;
 }
 
+bool
+toolLanesEnabled()
+{
+    return envLong("SPLAB_TOOL_LANES", 1) != 0;
+}
+
 } // namespace splab

@@ -37,6 +37,14 @@
  *                    of the batch accumulate kernels (see
  *                    isa/accumulate.hh).  Default on; scalar and
  *                    SIMD results are bit-identical.
+ *  - SPLAB_TOOL_LANES: 0 = keep the generation pipeline's single
+ *                    consumer, which delivers each finalized batch
+ *                    to all attached tools serially (see
+ *                    pin/engine.hh).  Default on: when the thread
+ *                    pool has workers to spare, each tool consumes
+ *                    batches on its own in-chunk-order lane.  A pure
+ *                    scheduling change — per-tool state is disjoint,
+ *                    so results are byte-identical either way.
  *  - SPLAB_SERVICE : path of a splabd artifact-service Unix-domain
  *                    socket.  When set, every ArtifactGraph becomes
  *                    a service client: persisted artifacts are
@@ -101,6 +109,11 @@ bool genPipelineEnabled();
  *  (SPLAB_SIMD; default on).  Re-read per call so tests can toggle
  *  it within one process. */
 bool simdKernelsEnabled();
+
+/** Whether the generation pipeline may split its consumer into
+ *  per-tool lanes (SPLAB_TOOL_LANES; default on).  Re-read per run
+ *  so tests can toggle it within one process. */
+bool toolLanesEnabled();
 
 } // namespace splab
 

@@ -22,6 +22,13 @@
  * composed parallel stages (a parallel k-sweep whose per-k restarts
  * are themselves parallelMap calls) neither deadlock nor
  * oversubscribe.
+ *
+ * Pipelines that park roles on workers (the engine's generation
+ * producers and per-tool consumer lanes, pin/engine.cc) rely on a
+ * further property of forEach: each thread runs one index at a time
+ * to completion, so as long as the number of mutually-blocking
+ * roles does not exceed the pool size, every role gets its own
+ * thread and cross-role waits cannot deadlock.
  */
 
 #ifndef SPLAB_SUPPORT_THREAD_POOL_HH

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Per-tool consumer lanes over the generation pipeline: a pure
+ * scheduling change, so the tests are byte-equality tests — lanes on
+ * vs off, thread count vs thread count — plus gauge coverage, the
+ * per-call env re-read contracts, and arena-reuse poisoning.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+
+#include "core/runs.hh"
+#include "isa/accumulate.hh"
+#include "isa/events.hh"
+#include "obs/counters.hh"
+#include "pin/engine.hh"
+#include "support/env.hh"
+#include "support/serialize.hh"
+#include "support/thread_pool.hh"
+#include "workload/synthetic.hh"
+
+namespace splab
+{
+namespace
+{
+
+BenchmarkSpec
+laneSpec(u64 chunks = 300)
+{
+    BenchmarkSpec spec;
+    spec.name = "toollanes-test";
+    spec.seed = 4321;
+    spec.totalChunks = chunks;
+    spec.chunkLen = 1000;
+    PhaseSpec a;
+    a.weight = 0.5;
+    a.kernel = KernelKind::Stream;
+    a.workingSetBytes = 4 << 20;
+    PhaseSpec b;
+    b.weight = 0.5;
+    b.kernel = KernelKind::PointerChase;
+    b.workingSetBytes = 1 << 20;
+    spec.phases = {a, b};
+    spec.schedule = ScheduleKind::Interleaved;
+    spec.dwellChunks = 20;
+    return spec;
+}
+
+/** Fused whole-run results as comparable bytes (wall time excluded,
+ *  BBVs included) — every artifact the five lane tools produce. */
+std::vector<u8>
+fusedBytes(const FusedWholeResult &r)
+{
+    ByteWriter w;
+    w.put<u64>(r.cache.instrs);
+    for (double f : r.cache.mixFrac)
+        w.put<double>(f);
+    for (const LevelCounts *lc :
+         {&r.cache.l1i, &r.cache.l1d, &r.cache.l2, &r.cache.l3}) {
+        w.put<u64>(lc->accesses);
+        w.put<u64>(lc->misses);
+    }
+    w.put<u64>(r.cache.branches);
+    w.put<u64>(r.timing.instrs);
+    w.put<double>(r.timing.cycles);
+    w.put<u64>(r.timing.branches);
+    w.put<u64>(r.timing.mispredicts);
+    w.put<u64>(r.timing.l2Hits);
+    w.put<u64>(r.timing.l3Hits);
+    w.put<u64>(r.timing.memAccesses);
+    w.put<u64>(r.bbvs.size());
+    for (const FrequencyVector &fv : r.bbvs) {
+        w.put<u64>(fv.entries.size());
+        for (const BbvEntry &e : fv.entries) {
+            w.put<u32>(e.block);
+            w.put<float>(e.weight);
+        }
+    }
+    return w.bytes();
+}
+
+/** RAII env toggle restoring the variable on scope exit. */
+class EnvGuard
+{
+  public:
+    EnvGuard(const char *n, const char *v) : name(n)
+    {
+        const char *old = std::getenv(n);
+        had = old != nullptr;
+        if (had)
+            saved = old;
+        setenv(n, v, 1);
+    }
+    ~EnvGuard()
+    {
+        if (had)
+            setenv(name, saved.c_str(), 1);
+        else
+            unsetenv(name);
+    }
+
+  private:
+    const char *name;
+    bool had = false;
+    std::string saved;
+};
+
+TEST(ToolLanes, LanesOffOnByteEquality)
+{
+    // Lanes are a pure scheduling change: with the pool sized so the
+    // fused pass runs one lane per tool (5 tools + producers on 8
+    // threads), SPLAB_TOOL_LANES=0 and =1 must produce byte-identical
+    // cache, timing and BBV results.
+    BenchmarkSpec spec = laneSpec(300);
+    HierarchyConfig caches = tableIConfig();
+    MachineConfig machine = tableIIIMachine();
+    const ICount slice = 5 * spec.chunkLen;
+    EnvGuard p("SPLAB_GEN_PIPELINE", "1");
+
+    ThreadPool::setGlobalThreads(8);
+    std::vector<u8> off, on;
+    {
+        EnvGuard g("SPLAB_TOOL_LANES", "0");
+        off = fusedBytes(measureWholeFused(spec, caches, machine,
+                                           slice));
+    }
+    {
+        EnvGuard g("SPLAB_TOOL_LANES", "1");
+        on = fusedBytes(measureWholeFused(spec, caches, machine,
+                                          slice));
+    }
+    ThreadPool::setGlobalThreads(0);
+    ASSERT_FALSE(off.empty());
+    EXPECT_EQ(off, on);
+}
+
+TEST(ToolLanes, ThreadCountInvariantWithLanesForcedOn)
+{
+    // With lanes explicitly enabled, the fused pass must stay
+    // byte-identical across SPLAB_THREADS = 1 (serial fallback), 2
+    // (single consumer — no worker to spare for a second lane), 3
+    // (two lanes, tools grouped round-robin) and 8 (one lane per
+    // tool).
+    BenchmarkSpec spec = laneSpec(250);
+    HierarchyConfig caches = tableIConfig();
+    MachineConfig machine = tableIIIMachine();
+    EnvGuard p("SPLAB_GEN_PIPELINE", "1");
+    EnvGuard g("SPLAB_TOOL_LANES", "1");
+
+    std::vector<std::vector<u8>> blobs;
+    for (std::size_t threads : {1u, 2u, 3u, 8u}) {
+        ThreadPool::setGlobalThreads(threads);
+        blobs.push_back(fusedBytes(
+            measureWholeFused(spec, caches, machine,
+                              6 * spec.chunkLen)));
+    }
+    ThreadPool::setGlobalThreads(0);
+    ASSERT_FALSE(blobs[0].empty());
+    for (std::size_t i = 1; i < blobs.size(); ++i)
+        EXPECT_EQ(blobs[0], blobs[i]) << "thread config " << i;
+}
+
+TEST(ToolLanes, GaugesRecordLaneHealth)
+{
+    // A lane run must leave the toollanes gauges populated (gauges,
+    // not counters: stall counts depend on scheduling and may not
+    // perturb the deterministic manifest section).
+    BenchmarkSpec spec = laneSpec(80);
+    HierarchyConfig caches = tableIConfig();
+    MachineConfig machine = tableIIIMachine();
+    EnvGuard p("SPLAB_GEN_PIPELINE", "1");
+    EnvGuard g("SPLAB_TOOL_LANES", "1");
+    ThreadPool::setGlobalThreads(8);
+    measureWholeFused(spec, caches, machine, 5 * spec.chunkLen);
+    ThreadPool::setGlobalThreads(0);
+
+    auto gauges = obs::gaugeSnapshot();
+    ASSERT_TRUE(gauges.count("toollanes.runs"));
+    EXPECT_GE(gauges["toollanes.runs"], 1u);
+    ASSERT_TRUE(gauges.count("toollanes.lanes"));
+    EXPECT_GE(gauges["toollanes.lanes"], 2u);
+    EXPECT_TRUE(gauges.count("toollanes.lane_stalls"));
+    EXPECT_TRUE(gauges.count("toollanes.lane0_stalls"));
+    ASSERT_TRUE(gauges.count("toollanes.peak_inflight_slots"));
+    EXPECT_GE(gauges["toollanes.peak_inflight_slots"], 1u);
+}
+
+TEST(ToolLanes, EnvKnobReReadPerRun)
+{
+    // SPLAB_TOOL_LANES must be consulted fresh on every run: toggle
+    // it inside one process and watch lane engagement flip via the
+    // toollanes.runs gauge.
+    BenchmarkSpec spec = laneSpec(60);
+    HierarchyConfig caches = tableIConfig();
+    MachineConfig machine = tableIIIMachine();
+    EnvGuard p("SPLAB_GEN_PIPELINE", "1");
+    ThreadPool::setGlobalThreads(8);
+
+    {
+        EnvGuard g("SPLAB_TOOL_LANES", "0");
+        EXPECT_FALSE(toolLanesEnabled());
+        u64 before = obs::gaugeSnapshot()["toollanes.runs"];
+        measureWholeFused(spec, caches, machine, 5 * spec.chunkLen);
+        EXPECT_EQ(obs::gaugeSnapshot()["toollanes.runs"], before)
+            << "lanes engaged despite SPLAB_TOOL_LANES=0";
+    }
+    {
+        EnvGuard g("SPLAB_TOOL_LANES", "1");
+        EXPECT_TRUE(toolLanesEnabled());
+        u64 before = obs::gaugeSnapshot()["toollanes.runs"];
+        measureWholeFused(spec, caches, machine, 5 * spec.chunkLen);
+        EXPECT_GT(obs::gaugeSnapshot()["toollanes.runs"], before)
+            << "lanes did not engage despite SPLAB_TOOL_LANES=1";
+    }
+    ThreadPool::setGlobalThreads(0);
+}
+
+TEST(EnvReRead, GenPipelineFlipsMidProcess)
+{
+    // SPLAB_GEN_PIPELINE is re-read per run, not latched at first
+    // use: within one test body, a run with it off must not bump
+    // genpipe.runs and a following run with it on must.
+    BenchmarkSpec spec = laneSpec(60);
+    ThreadPool::setGlobalThreads(4);
+    SyntheticWorkload wl(spec);
+    Engine engine; // no tools: generation + ordered delivery only
+
+    {
+        EnvGuard g("SPLAB_GEN_PIPELINE", "0");
+        EXPECT_FALSE(genPipelineEnabled());
+        u64 before = obs::gaugeSnapshot()["genpipe.runs"];
+        engine.runWhole(wl);
+        EXPECT_EQ(obs::gaugeSnapshot()["genpipe.runs"], before)
+            << "pipeline engaged despite SPLAB_GEN_PIPELINE=0";
+    }
+    {
+        EnvGuard g("SPLAB_GEN_PIPELINE", "1");
+        EXPECT_TRUE(genPipelineEnabled());
+        u64 before = obs::gaugeSnapshot()["genpipe.runs"];
+        engine.runWhole(wl);
+        EXPECT_GT(obs::gaugeSnapshot()["genpipe.runs"], before)
+            << "pipeline did not engage despite SPLAB_GEN_PIPELINE=1";
+    }
+    ThreadPool::setGlobalThreads(0);
+}
+
+TEST(EnvReRead, SimdFlipsMidProcess)
+{
+    // SPLAB_SIMD is re-read per call: toggling it inside one test
+    // body must flip the dispatch both ways, with identical results
+    // either way.
+    std::mt19937_64 rng(99);
+    std::vector<BlockRecord> recs;
+    std::vector<u8> valid, taken, dataDep;
+    for (std::size_t i = 0; i < 777; ++i) {
+        BlockRecord r;
+        r.bb = static_cast<u32>(rng() % 300);
+        r.instrs = 1 + static_cast<u32>(rng() % 30);
+        for (std::size_t m = 0; m < r.mix.count.size(); ++m)
+            r.mix.count[m] = rng() % 11;
+        r.fpInstrs = static_cast<u32>(rng() % 5);
+        bool hasBr = (rng() & 1) != 0;
+        r.endsInBranch = hasBr;
+        recs.push_back(r);
+        valid.push_back(hasBr ? 1 : 0);
+        taken.push_back(hasBr && (rng() & 1) ? 1 : 0);
+        dataDep.push_back(hasBr && (rng() & 1) ? 1 : 0);
+    }
+    BatchAggregates ref = accumulateScalar(
+        recs.data(), recs.size(), valid.data(), taken.data(),
+        dataDep.data());
+    {
+        EnvGuard g("SPLAB_SIMD", "0");
+        EXPECT_FALSE(simdAccumulateEnabled());
+        BatchAggregates got = accumulateBatch(
+            recs.data(), recs.size(), valid.data(), taken.data(),
+            dataDep.data());
+        EXPECT_TRUE(ref == got);
+    }
+    {
+        EnvGuard g("SPLAB_SIMD", "1");
+        EXPECT_EQ(simdAccumulateEnabled(), simdAccumulateCompiled());
+        BatchAggregates got = accumulateBatch(
+            recs.data(), recs.size(), valid.data(), taken.data(),
+            dataDep.data());
+        EXPECT_TRUE(ref == got);
+    }
+}
+
+/** Serialize a batch's full event content plus its aggregates. */
+std::vector<u8>
+batchBytes(const EventBatch &batch)
+{
+    ByteWriter w;
+    w.put<u64>(batch.numBlocks());
+    for (std::size_t i = 0; i < batch.numBlocks(); ++i) {
+        const BlockRecord &rec = batch.block(i);
+        w.put<u32>(rec.bb);
+        w.put<u64>(rec.pc);
+        w.put<u32>(rec.instrs);
+        for (ICount c : rec.mix.count)
+            w.put<u64>(c);
+        w.put<u32>(rec.fpInstrs);
+        w.put<u8>(rec.endsInBranch ? 1 : 0);
+        w.put<u64>(batch.accCount(i));
+        const MemAccess *accs = batch.accs(i);
+        for (std::size_t k = 0; k < batch.accCount(i); ++k) {
+            w.put<u64>(accs[k].addr);
+            w.put<u8>(accs[k].size);
+            w.put<u8>(accs[k].isWrite ? 1 : 0);
+        }
+        const BranchRecord *br = batch.branch(i);
+        w.put<u8>(br ? 1 : 0);
+        if (br) {
+            w.put<u64>(br->pc);
+            w.put<u8>(br->taken ? 1 : 0);
+            w.put<u8>(br->dataDependent ? 1 : 0);
+        }
+    }
+    w.put<u64>(batch.instrs());
+    for (ICount c : batch.mixTotal().count)
+        w.put<u64>(c);
+    w.put<u64>(batch.fpTotal());
+    w.put<u64>(batch.branchTotal());
+    w.put<u64>(batch.takenTotal());
+    w.put<u64>(batch.dataDependentTotal());
+    w.put<u64>(batch.touchedBlocks().size());
+    for (u32 bb : batch.touchedBlocks()) {
+        w.put<u32>(bb);
+        w.put<u64>(batch.blockInstrSum(bb));
+    }
+    return w.bytes();
+}
+
+TEST(ArenaReuse, PoisonedBatchRefillsClean)
+{
+    // The ring reuses retired arenas; a refill must not inherit
+    // anything from the previous occupant.  Scribble garbage into a
+    // batch — junk blocks, accesses, branches, finalized aggregates,
+    // touched-block sums — then regenerate a chunk into it and
+    // demand bytes identical to a fill into a pristine arena.
+    BenchmarkSpec spec = laneSpec(50);
+    SyntheticWorkload wl(spec);
+    GenContext ctx(wl);
+
+    EventBatch pristine;
+    ctx.generateChunk(17, pristine, true);
+    const std::vector<u8> want = batchBytes(pristine);
+
+    EventBatch reused;
+    std::mt19937_64 rng(1);
+    for (int round = 0; round < 3; ++round) {
+        // Poison: fill with random junk shaped like a real chunk,
+        // including high block ids so blockSums grows past anything
+        // chunk 17 touches.
+        reused.clear();
+        for (std::size_t i = 0; i < 500; ++i) {
+            BlockRecord r;
+            r.bb = static_cast<u32>(rng() % 4096);
+            r.pc = rng();
+            r.instrs = 1 + static_cast<u32>(rng() % 50);
+            for (std::size_t m = 0; m < r.mix.count.size(); ++m)
+                r.mix.count[m] = rng() % 23;
+            r.fpInstrs = static_cast<u32>(rng() % 7);
+            std::size_t nAccs = rng() % 4;
+            MemAccess *accs = reused.reserveAccs(nAccs);
+            for (std::size_t k = 0; k < nAccs; ++k) {
+                accs[k].addr = rng();
+                accs[k].size = 8;
+                accs[k].isWrite = (rng() & 1) != 0;
+            }
+            BranchRecord br;
+            br.pc = rng();
+            br.taken = (rng() & 1) != 0;
+            br.dataDependent = (rng() & 1) != 0;
+            bool hasBr = (rng() & 1) != 0;
+            r.endsInBranch = hasBr;
+            reused.push(r, nAccs, br, hasBr);
+        }
+        reused.finalizeAggregates(); // cache junk aggregates too
+
+        ctx.generateChunk(17, reused, true);
+        EXPECT_EQ(batchBytes(reused), want) << "round " << round;
+    }
+}
+
+} // namespace
+} // namespace splab
