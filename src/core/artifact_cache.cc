@@ -362,12 +362,11 @@ ArtifactCache::indexLoadLocked(IndexState &st) const
 
 void
 ArtifactCache::evictLocked(IndexState &st,
-                           const std::string &protect) const
+                           const std::string &protect,
+                           u64 evictBudget) const
 {
-    if (budget == 0)
-        return;
     u64 resident = st.residentBytes();
-    while (resident > budget) {
+    while (resident > evictBudget) {
         // Oldest last-use stamp wins; never the blob being stored.
         auto victim = st.entries.end();
         for (auto it = st.entries.begin(); it != st.entries.end();
@@ -427,9 +426,28 @@ ArtifactCache::indexMutate(
     FileLock lock(root + "/index.lock");
     indexLoadLocked(*idx);
     apply(*idx);
-    evictLocked(*idx, protect);
+    if (budget != 0)
+        evictLocked(*idx, protect, budget);
     indexSaveLocked(*idx);
     residentGauge().set(idx->residentBytes());
+}
+
+CacheUsage
+ArtifactCache::evictToBytes(u64 targetBytes) const
+{
+    CacheUsage u;
+    if (!enabled() || !idx)
+        return u;
+    std::lock_guard<std::mutex> g(idx->mtx);
+    FileLock lock(root + "/index.lock");
+    indexLoadLocked(*idx);
+    evictLocked(*idx, "", targetBytes);
+    indexSaveLocked(*idx);
+    residentGauge().set(idx->residentBytes());
+    u.artifacts = idx->entries.size();
+    u.sharedBlobs = idx->shared.size();
+    u.residentBytes = idx->residentBytes();
+    return u;
 }
 
 CacheUsage

@@ -147,6 +147,17 @@ class ArtifactCache
     CacheUsage usage() const;
 
     /**
+     * Evict least-recently-used artifacts until the resident bytes
+     * (artifact blobs + shared sub-blobs) fit @p targetBytes,
+     * regardless of the construction-time budget; 0 evicts
+     * everything evictable.  This is the admin hook behind
+     * `splabd --evict`.  Runs under the same in-process mutex and
+     * cross-process file lock as any index mutation.
+     * @return post-eviction occupancy.
+     */
+    CacheUsage evictToBytes(u64 targetBytes) const;
+
+    /**
      * Version salt mixed into every key; bump when serialized
      * layouts or producing algorithms change.
      */
@@ -168,7 +179,11 @@ class ArtifactCache
     void indexLoadLocked(IndexState &st) const;
     void indexSaveLocked(const IndexState &st) const;
     void indexRebuildLocked(IndexState &st) const;
-    void evictLocked(IndexState &st, const std::string &protect) const;
+
+    /** Evict LRU artifacts (sparing @p protect) until the resident
+     *  bytes fit @p evictBudget.  Caller holds both locks. */
+    void evictLocked(IndexState &st, const std::string &protect,
+                     u64 evictBudget) const;
 
     std::string root;
     u64 budget = 0;

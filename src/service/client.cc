@@ -165,6 +165,30 @@ ServiceClient::stats() const
     return out;
 }
 
+std::optional<ServiceClient::EvictOutcome>
+ServiceClient::evict(u64 targetBytes) const
+{
+    Request req;
+    req.op = Op::Evict;
+    req.evictBytes = targetBytes;
+    ResponseHeader h;
+    std::vector<u8> payload;
+    if (!roundTrip(req, h, &payload) || h.status != Status::Ok)
+        return std::nullopt;
+    // Payload: four u64s (before, after, artifacts, shared) —
+    // decoded defensively like any other wire data.
+    EvictOutcome out;
+    u64 fields[4] = {0, 0, 0, 0};
+    if (payload.size() != sizeof(fields))
+        return std::nullopt;
+    std::memcpy(fields, payload.data(), sizeof(fields));
+    out.residentBefore = fields[0];
+    out.residentAfter = fields[1];
+    out.artifacts = fields[2];
+    out.sharedBlobs = fields[3];
+    return out;
+}
+
 bool
 ServiceClient::requestShutdown() const
 {

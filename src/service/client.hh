@@ -65,6 +65,21 @@ class ServiceClient
     /** Daemon-side counter snapshot (name -> value). */
     std::optional<std::map<std::string, u64>> stats() const;
 
+    /** Outcome of a daemon-side cache eviction. */
+    struct EvictOutcome
+    {
+        u64 residentBefore = 0; ///< resident bytes pre-eviction
+        u64 residentAfter = 0;  ///< resident bytes post-eviction
+        u64 artifacts = 0;      ///< surviving artifact blobs
+        u64 sharedBlobs = 0;    ///< surviving shared sub-blobs
+    };
+
+    /** Ask the daemon to LRU-evict its cache down to
+     *  @p targetBytes resident bytes (0 = everything evictable);
+     *  nullopt on any failure (no daemon, disabled cache, protocol
+     *  error). */
+    std::optional<EvictOutcome> evict(u64 targetBytes) const;
+
     /** Ask the daemon to shut down; true if it acknowledged. */
     bool requestShutdown() const;
 

@@ -57,6 +57,14 @@ connectionsCounter()
                         "client connections accepted by the daemon");
 }
 
+obs::Counter &
+evictRequestsCounter()
+{
+    return obs::counter("service.evict_requests",
+                        "admin eviction requests handled by the "
+                        "daemon");
+}
+
 } // namespace
 
 ServiceDaemon::ServiceDaemon(
@@ -73,6 +81,7 @@ ServiceDaemon::ServiceDaemon(
     servedCounter();
     bytesCounter();
     connectionsCounter();
+    evictRequestsCounter();
 }
 
 ServiceDaemon::~ServiceDaemon() { stop(); }
@@ -275,6 +284,28 @@ ServiceDaemon::serveEnsure(int fd, const Request &req)
 }
 
 void
+ServiceDaemon::serveEvict(int fd, const Request &req)
+{
+    evictRequestsCounter().add();
+    if (!cache->enabled()) {
+        sendError(fd, "daemon cache is disabled");
+        return;
+    }
+    u64 before = cache->usage().residentBytes;
+    CacheUsage after = cache->evictToBytes(req.evictBytes);
+    std::vector<u8> payload;
+    auto put = [&payload](u64 v) {
+        const u8 *b = reinterpret_cast<const u8 *>(&v);
+        payload.insert(payload.end(), b, b + sizeof(v));
+    };
+    put(before);
+    put(after.residentBytes);
+    put(after.artifacts);
+    put(after.sharedBlobs);
+    sendOk(fd, payload);
+}
+
+void
 ServiceDaemon::handle(int fd)
 {
     std::vector<u8> frame;
@@ -307,6 +338,8 @@ ServiceDaemon::handle(int fd)
                 put(&kv.second, sizeof(kv.second));
             }
             sendOk(fd, payload);
+        } else if (req.op == Op::Evict) {
+            serveEvict(fd, req);
         } else if (req.op == Op::Shutdown) {
             // Raise the flag before acking: a client returning from
             // requestShutdown() must observe shutdownRequested().

@@ -93,6 +93,7 @@ class ServiceDaemon
     void acceptLoop();
     void handle(int fd);
     void serveEnsure(int fd, const Request &req);
+    void serveEvict(int fd, const Request &req);
     bool sendError(int fd, const std::string &message);
     bool sendOk(int fd, const std::vector<u8> &payload);
 

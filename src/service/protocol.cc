@@ -127,6 +127,8 @@ encodeRequest(const Request &r)
         w.put<u64>(r.configHash);
         w.put<double>(r.scale);
         w.putBlob(r.config);
+    } else if (r.op == Op::Evict) {
+        w.put<u64>(r.evictBytes);
     }
     return w.take();
 }
@@ -149,6 +151,9 @@ decodeRequest(const std::vector<u8> &frame, Request &out)
         return r.getString(out.benchmark) && r.get(out.kind) &&
                r.get(out.configHash) && r.get(out.scale) &&
                r.getBlob(out.config) && r.exhausted();
+      case Op::Evict:
+        out.op = Op::Evict;
+        return r.get(out.evictBytes) && r.exhausted();
     }
     return false;
 }

@@ -14,6 +14,11 @@
  *
  * Op bodies (all integers fixed-width, strings length-prefixed):
  *  - Ping, Stats, Shutdown: empty.
+ *  - Evict: u64 targetBytes — evict least-recently-used artifacts
+ *           from the daemon's cache until the resident bytes fit the
+ *           target (0 = evict everything evictable).  The Ok payload
+ *           is four u64s: resident bytes before, resident bytes
+ *           after, artifacts after, shared sub-blobs after.
  *  - Ensure: string benchmark | u8 kind | u64 configHash |
  *            f64 scale | u32 configLen + configLen bytes (a
  *            serialized ExperimentConfig, see
@@ -67,6 +72,7 @@ enum class Op : u8
     Ensure = 2,   ///< materialize one artifact; payload = its bytes
     Stats = 3,    ///< daemon counter snapshot
     Shutdown = 4, ///< ask the daemon to stop accepting and exit
+    Evict = 5,    ///< LRU-evict the cache down to a byte budget
 };
 
 enum class Status : u8
@@ -84,6 +90,7 @@ struct Request
     u64 configHash = 0;     ///< Ensure only
     double scale = 1.0;     ///< Ensure only: client workloadScale()
     std::vector<u8> config; ///< Ensure only: serialized config
+    u64 evictBytes = 0;     ///< Evict only: target resident bytes
 };
 
 /** One decoded response header frame. */

@@ -7,6 +7,10 @@
  *     splabd --stats <socket-path>      print a running daemon's
  *                                       counter snapshot
  *     splabd --shutdown <socket-path>   ask a running daemon to stop
+ *     splabd --evict <socket-path> <bytes>
+ *                                       LRU-evict the daemon's cache
+ *                                       down to <bytes> resident
+ *                                       bytes (0 = everything)
  *
  * Serve mode answers artifact requests on <socket-path> from the
  * cache named by SPLAB_CACHE (budgeted by SPLAB_CACHE_MAX_BYTES),
@@ -21,6 +25,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -46,8 +51,9 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s <socket-path>\n"
                  "       %s --stats <socket-path>\n"
-                 "       %s --shutdown <socket-path>\n",
-                 argv0, argv0, argv0);
+                 "       %s --shutdown <socket-path>\n"
+                 "       %s --evict <socket-path> <bytes>\n",
+                 argv0, argv0, argv0, argv0);
     return 2;
 }
 
@@ -72,6 +78,40 @@ runStats(const std::string &socketPath)
         std::printf("  %-*s %llu\n", static_cast<int>(width),
                     kv.first.c_str(),
                     static_cast<unsigned long long>(kv.second));
+    return 0;
+}
+
+/** splabd --evict: LRU-evict the daemon's cache to a byte budget. */
+int
+runEvict(const std::string &socketPath, const char *bytesArg)
+{
+    char *end = nullptr;
+    unsigned long long target = std::strtoull(bytesArg, &end, 10);
+    if (end == bytesArg || *end != '\0') {
+        std::fprintf(stderr, "splabd: --evict needs a byte count, "
+                             "got '%s'\n",
+                     bytesArg);
+        return 2;
+    }
+    splab::service::ServiceClient client(socketPath);
+    auto outcome = client.evict(static_cast<splab::u64>(target));
+    if (!outcome) {
+        std::fprintf(stderr,
+                     "splabd: no daemon answering on %s\n",
+                     socketPath.c_str());
+        return 1;
+    }
+    std::printf("evicted %llu bytes (%llu -> %llu resident, "
+                "%llu artifacts, %llu shared blobs remain)\n",
+                static_cast<unsigned long long>(
+                    outcome->residentBefore - outcome->residentAfter),
+                static_cast<unsigned long long>(
+                    outcome->residentBefore),
+                static_cast<unsigned long long>(
+                    outcome->residentAfter),
+                static_cast<unsigned long long>(outcome->artifacts),
+                static_cast<unsigned long long>(
+                    outcome->sharedBlobs));
     return 0;
 }
 
@@ -100,6 +140,8 @@ main(int argc, char **argv)
         return runStats(argv[2]);
     if (argc == 3 && std::strcmp(argv[1], "--shutdown") == 0)
         return runShutdown(argv[2]);
+    if (argc == 4 && std::strcmp(argv[1], "--evict") == 0)
+        return runEvict(argv[2], argv[3]);
     if (argc != 2 || argv[1][0] == '-')
         return usage(argv[0]);
 

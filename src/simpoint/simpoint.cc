@@ -6,6 +6,7 @@
 #include "obs/counters.hh"
 #include "obs/trace.hh"
 #include "sampling/region.hh"
+#include "support/env.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 #include "support/serialize.hh"
@@ -86,6 +87,11 @@ std::vector<u32>
 strideSample(std::size_t n, u32 cap)
 {
     std::vector<u32> idx;
+    // A zero cap would return an empty sample and trip the
+    // downstream "kmeans: no points" assert; one representative
+    // slice is the smallest meaningful clustering input.
+    if (cap == 0)
+        cap = 1;
     if (n <= cap) {
         idx.resize(n);
         for (std::size_t i = 0; i < n; ++i)
@@ -156,51 +162,49 @@ finalize(const KMeansResult &fit, const DenseMatrix &allProjected,
 
     const std::size_t n = allProjected.rows();
     const std::size_t dim = allProjected.cols();
-    const auto chunks = fixedChunks(n, kSliceChunk);
 
     // Pass 1: assign every slice (not just the sample) to its
-    // nearest k-means centroid.  Chunks accumulate private
-    // population counts and per-cluster distance lists; the
-    // chunk-order reduction below concatenates the lists in slice
-    // order, exactly as a serial scan would.
+    // nearest k-means centroid.  The centroids are fixed here, so
+    // the scan goes through the pruned NearestCentroids kernel
+    // (results bit-identical to the brute scan; see kmeans.hh).
+    // Chunks accumulate private population counts and per-cluster
+    // distance lists; the chunk-order reduction below concatenates
+    // the lists in slice order, exactly as a serial scan would.
     struct Pass1Accum
     {
         std::vector<u64> population;
         std::vector<std::vector<double>> distances;
+        DistanceKernelStats stats;
     };
+    DistanceKernelStats pass1Stats;
+    NearestCentroids nearest(fit.centroids, kmeansAccelEnabled(),
+                             &pass1Stats);
     std::vector<u32> rawAssign(n, 0);
-    std::vector<Pass1Accum> pass1(chunks.size());
-    parallelFor(chunks.size(), [&](std::size_t ci) {
-        Pass1Accum &a = pass1[ci];
-        a.population.assign(fit.k, 0);
-        a.distances.assign(fit.k, {});
-        for (std::size_t i = chunks[ci].begin; i < chunks[ci].end;
-             ++i) {
-            const double *p = allProjected.row(i);
-            double best = std::numeric_limits<double>::max();
-            u32 bestC = 0;
-            for (u32 c = 0; c < fit.k; ++c) {
-                double d =
-                    squaredDistance(p, fit.centroids.row(c), dim);
-                if (d < best) {
-                    best = d;
-                    bestC = c;
-                }
+    auto pass1 = parallelChunkApply<Pass1Accum>(
+        n, kSliceChunk, [&](Pass1Accum &a, const ChunkRange &r) {
+            a.population.assign(fit.k, 0);
+            a.distances.assign(fit.k, {});
+            for (std::size_t i = r.begin; i < r.end; ++i) {
+                double best = 0.0;
+                u32 bestC = nearest.nearest(allProjected.row(i),
+                                            best, a.stats);
+                rawAssign[i] = bestC;
+                ++a.population[bestC];
+                a.distances[bestC].push_back(best);
             }
-            rawAssign[i] = bestC;
-            ++a.population[bestC];
-            a.distances[bestC].push_back(best);
-        }
-    });
+        });
     std::vector<u64> population(fit.k, 0);
     std::vector<std::vector<double>> distances(fit.k);
-    for (const Pass1Accum &a : pass1)
+    for (const Pass1Accum &a : pass1) {
+        pass1Stats.merge(a.stats);
         for (u32 c = 0; c < fit.k; ++c) {
             population[c] += a.population[c];
             distances[c].insert(distances[c].end(),
                                 a.distances[c].begin(),
                                 a.distances[c].end());
         }
+    }
+    accountDistanceKernel(pass1Stats);
 
     // Merge clusters whose centroids overlap within their own
     // spread (see SimPointConfig::mergeThreshold).  Spread is the
@@ -283,26 +287,25 @@ finalize(const KMeansResult &fit, const DenseMatrix &allProjected,
         std::vector<SliceIndex> representative;
         std::vector<double> sumDist;
     };
-    std::vector<Pass2Accum> pass2(chunks.size());
-    parallelFor(chunks.size(), [&](std::size_t ci) {
-        Pass2Accum &a = pass2[ci];
-        a.bestDist.assign(nGroups,
-                          std::numeric_limits<double>::max());
-        a.representative.assign(nGroups, 0);
-        a.sumDist.assign(nGroups, 0.0);
-        for (std::size_t i = chunks[ci].begin; i < chunks[ci].end;
-             ++i) {
-            u32 g = groupOf[rawAssign[i]];
-            res.sliceToCluster[i] = g;
-            double d = squaredDistance(allProjected.row(i),
-                                       groupCentroid[g].data(), dim);
-            a.sumDist[g] += d;
-            if (d < a.bestDist[g]) {
-                a.bestDist[g] = d;
-                a.representative[g] = i;
+    auto pass2 = parallelChunkApply<Pass2Accum>(
+        n, kSliceChunk, [&](Pass2Accum &a, const ChunkRange &r) {
+            a.bestDist.assign(nGroups,
+                              std::numeric_limits<double>::max());
+            a.representative.assign(nGroups, 0);
+            a.sumDist.assign(nGroups, 0.0);
+            for (std::size_t i = r.begin; i < r.end; ++i) {
+                u32 g = groupOf[rawAssign[i]];
+                res.sliceToCluster[i] = g;
+                double d =
+                    squaredDistance(allProjected.row(i),
+                                    groupCentroid[g].data(), dim);
+                a.sumDist[g] += d;
+                if (d < a.bestDist[g]) {
+                    a.bestDist[g] = d;
+                    a.representative[g] = i;
+                }
             }
-        }
-    });
+        });
     std::vector<double> bestDist(
         nGroups, std::numeric_limits<double>::max());
     std::vector<SliceIndex> representative(nGroups, 0);

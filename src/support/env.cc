@@ -106,4 +106,10 @@ toolLanesEnabled()
     return envLong("SPLAB_TOOL_LANES", 1) != 0;
 }
 
+bool
+kmeansAccelEnabled()
+{
+    return envLong("SPLAB_KMEANS_ACCEL", 1) != 0;
+}
+
 } // namespace splab

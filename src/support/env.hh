@@ -45,6 +45,16 @@
  *                    batches on its own in-chunk-order lane.  A pure
  *                    scheduling change — per-tool state is disjoint,
  *                    so results are byte-identical either way.
+ *  - SPLAB_KMEANS_ACCEL: 0 = force brute-force nearest-centroid
+ *                    scans in the clustering stack (see
+ *                    simpoint/kmeans.hh).  Default on: Lloyd
+ *                    iterations keep Hamerly-style distance bounds
+ *                    and the whole-run slice assignment prunes via
+ *                    inter-centroid half-distances.  Skips happen
+ *                    only when a centroid is provably strictly
+ *                    farther under conservative bound arithmetic, so
+ *                    assignments, distortion and centroid bytes are
+ *                    bit-identical either way.
  *  - SPLAB_SERVICE : path of a splabd artifact-service Unix-domain
  *                    socket.  When set, every ArtifactGraph becomes
  *                    a service client: persisted artifacts are
@@ -114,6 +124,11 @@ bool simdKernelsEnabled();
  *  per-tool lanes (SPLAB_TOOL_LANES; default on).  Re-read per run
  *  so tests can toggle it within one process. */
 bool toolLanesEnabled();
+
+/** Whether the triangle-inequality-pruned clustering kernels may be
+ *  used (SPLAB_KMEANS_ACCEL; default on).  Re-read per fit so tests
+ *  can toggle it within one process. */
+bool kmeansAccelEnabled();
 
 } // namespace splab
 

@@ -153,6 +153,24 @@ struct ChunkRange
 std::vector<ChunkRange> fixedChunks(std::size_t n,
                                     std::size_t chunkSize);
 
+/**
+ * The chunked-accumulate idiom in one helper: split [0, n) with
+ * fixedChunks, default-construct one Acc per chunk, and run
+ * body(acc, range) for every chunk across the pool.  The returned
+ * accumulators are in chunk order — reduce them serially in that
+ * order to keep floating-point results thread-count invariant.
+ */
+template <typename Acc, typename Fn>
+std::vector<Acc>
+parallelChunkApply(std::size_t n, std::size_t chunkSize, Fn &&body)
+{
+    const auto chunks = fixedChunks(n, chunkSize);
+    std::vector<Acc> accs(chunks.size());
+    parallelFor(chunks.size(),
+                [&](std::size_t ci) { body(accs[ci], chunks[ci]); });
+    return accs;
+}
+
 } // namespace splab
 
 #endif // SPLAB_SUPPORT_THREAD_POOL_HH

@@ -145,6 +145,25 @@ TEST(Protocol, RequestRoundTripsEveryOp)
     EXPECT_EQ(out.config, in.config);
 }
 
+TEST(Protocol, EvictRoundTripsAndRejectsTruncation)
+{
+    Request in;
+    in.op = Op::Evict;
+    in.evictBytes = 0x1234567890abcdefULL;
+    Request out;
+    ASSERT_TRUE(
+        service::decodeRequest(service::encodeRequest(in), out));
+    EXPECT_EQ(out.op, Op::Evict);
+    EXPECT_EQ(out.evictBytes, in.evictBytes);
+
+    // Every truncation of a valid Evict frame must be rejected.
+    std::vector<u8> good = service::encodeRequest(in);
+    for (std::size_t n = 0; n < good.size(); ++n) {
+        std::vector<u8> cut(good.begin(), good.begin() + n);
+        EXPECT_FALSE(service::decodeRequest(cut, out)) << n;
+    }
+}
+
 TEST(Protocol, DecodeRejectsMalformedFrames)
 {
     Request out;
@@ -344,6 +363,66 @@ TEST(Daemon, SurvivesRawMalformedFrame)
     close(fd);
     EXPECT_TRUE(ServiceClient(daemon.path()).ping());
     daemon.stop();
+}
+
+TEST(Daemon, EvictsCacheToBudgetAndReportsOutcome)
+{
+    ExperimentConfig cfg = fastConfig();
+    ServiceDaemon daemon(sockPath("evict"),
+                         std::make_shared<const ArtifactCache>(
+                             ArtifactCache(freshDir("evict"))));
+    ASSERT_TRUE(daemon.start());
+    ServiceClient client(daemon.path());
+
+    // Populate the daemon's cache, then evict everything (budget 0).
+    ASSERT_TRUE(client
+                    .ensureArtifact(
+                        kBench,
+                        static_cast<u8>(ArtifactKind::SimPoints),
+                        cfg.contentHash(), wireConfig(cfg))
+                    .has_value());
+    u64 resident = daemon.artifactCache().usage().residentBytes;
+    ASSERT_GT(resident, 0u);
+
+    // A generous budget evicts nothing.
+    auto noop = client.evict(resident);
+    ASSERT_TRUE(noop.has_value());
+    EXPECT_EQ(noop->residentBefore, resident);
+    EXPECT_EQ(noop->residentAfter, resident);
+
+    auto all = client.evict(0);
+    ASSERT_TRUE(all.has_value());
+    EXPECT_EQ(all->residentBefore, resident);
+    EXPECT_EQ(all->residentAfter, 0u);
+    EXPECT_EQ(all->artifacts, 0u);
+    EXPECT_EQ(all->sharedBlobs, 0u);
+    EXPECT_EQ(daemon.artifactCache().usage().residentBytes, 0u);
+
+    // The admin op is tallied and the daemon keeps serving.
+    auto stats = client.stats();
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_GE((*stats)["service.evict_requests"], 2u);
+    EXPECT_TRUE(client.ping());
+    daemon.stop();
+}
+
+TEST(Daemon, EvictOnDisabledCacheIsCleanError)
+{
+    ServiceDaemon daemon(sockPath("evictoff"),
+                         std::make_shared<const ArtifactCache>(
+                             ArtifactCache("")));
+    ASSERT_TRUE(daemon.start());
+    ServiceClient client(daemon.path());
+    EXPECT_FALSE(client.evict(0).has_value());
+    EXPECT_TRUE(client.ping());
+    daemon.stop();
+}
+
+TEST(ServiceClientApi, EvictWithoutDaemonIsNullopt)
+{
+    EXPECT_FALSE(ServiceClient("/tmp/splab-no-such-daemon.sock")
+                     .evict(0)
+                     .has_value());
 }
 
 TEST(Daemon, ShutdownRequestIsSurfacedToOwner)

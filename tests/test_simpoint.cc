@@ -325,6 +325,22 @@ TEST(SimPointSelect, SweepCoversOneToMaxK)
                   r.sweep[i - 1].distortion * 1.05);
 }
 
+TEST(SimPointSelect, ZeroSampleCapClampsToOneSlice)
+{
+    // sampleCap = 0 used to produce an empty strided sub-sample and
+    // trip the "kmeans: no points" assert; it now clamps to one
+    // representative slice and degenerates to a single-cluster
+    // selection instead of aborting.
+    auto bbvs = phasedBbvs({0.7, 0.3}, 120, 61);
+    SimPointConfig cfg;
+    cfg.maxK = 5;
+    cfg.sampleCap = 0;
+    SimPointResult r = pickSimPoints(bbvs, cfg);
+    ASSERT_EQ(r.points.size(), 1u);
+    EXPECT_NEAR(r.totalWeight(), 1.0, 1e-9);
+    EXPECT_EQ(r.sliceToCluster.size(), bbvs.size());
+}
+
 TEST(SimPointConfig, HashChangesWithKnobs)
 {
     SimPointConfig a, b;
